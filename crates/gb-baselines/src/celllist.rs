@@ -1,0 +1,284 @@
+//! Uniform-grid cell lists and Verlet neighbour lists (`nblist`s).
+//!
+//! This is the data structure the paper's octree *replaces*: the classic MD
+//! neighbour list. For a cutoff `r_c`, each atom's list holds every atom
+//! within `r_c` — storage grows linearly with atom count but **cubically
+//! with the cutoff** (paper §II, "Octrees vs. Nblists"), which is exactly
+//! the memory blow-up that makes the nblist packages fail on virus-sized
+//! molecules.
+
+use gb_geom::{Aabb, Vec3};
+
+/// A uniform grid over the atom positions with cell edge ≥ the query
+/// cutoff, so any neighbour lies in the 27 surrounding cells.
+#[derive(Debug)]
+pub struct CellList {
+    cell_edge: f64,
+    dims: [usize; 3],
+    origin: Vec3,
+    /// CSR layout: `cells[c]..cells[c+1]` indexes into `entries`.
+    cell_starts: Vec<u32>,
+    entries: Vec<u32>,
+    positions: Vec<Vec3>,
+}
+
+impl CellList {
+    /// Builds a cell list with the given cell edge (usually the cutoff).
+    ///
+    /// The edge is floored so no axis exceeds 512 cells — a tiny cutoff on
+    /// a large domain would otherwise explode the (mostly empty) grid.
+    pub fn build(positions: &[Vec3], cell_edge: f64) -> CellList {
+        assert!(cell_edge > 0.0);
+        let bbox = if positions.is_empty() {
+            Aabb::new(Vec3::ZERO, Vec3::ONE)
+        } else {
+            Aabb::from_points(positions).inflated(1e-9)
+        };
+        let ext = bbox.extent();
+        let cell_edge = cell_edge.max(ext.max_component() / 512.0);
+        let dims = [
+            ((ext.x / cell_edge).ceil() as usize).max(1),
+            ((ext.y / cell_edge).ceil() as usize).max(1),
+            ((ext.z / cell_edge).ceil() as usize).max(1),
+        ];
+        let n_cells = dims[0] * dims[1] * dims[2];
+        let cell_of = |p: Vec3| -> usize {
+            let c = [
+                (((p.x - bbox.min.x) / cell_edge) as usize).min(dims[0] - 1),
+                (((p.y - bbox.min.y) / cell_edge) as usize).min(dims[1] - 1),
+                (((p.z - bbox.min.z) / cell_edge) as usize).min(dims[2] - 1),
+            ];
+            (c[2] * dims[1] + c[1]) * dims[0] + c[0]
+        };
+        // counting sort into CSR
+        let mut counts = vec![0u32; n_cells + 1];
+        for &p in positions {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let mut entries = vec![0u32; positions.len()];
+        let mut cursor = counts.clone();
+        for (i, &p) in positions.iter().enumerate() {
+            let c = cell_of(p);
+            entries[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        CellList {
+            cell_edge,
+            dims,
+            origin: bbox.min,
+            cell_starts: counts,
+            entries,
+            positions: positions.to_vec(),
+        }
+    }
+
+    /// Calls `f(j)` for every atom `j ≠ i` within `cutoff` of atom `i`
+    /// (`cutoff` must be ≤ the cell edge).
+    pub fn for_each_neighbor(&self, i: usize, cutoff: f64, mut f: impl FnMut(usize)) {
+        debug_assert!(cutoff <= self.cell_edge * (1.0 + 1e-12));
+        let p = self.positions[i];
+        let c2 = cutoff * cutoff;
+        let cx = (((p.x - self.origin.x) / self.cell_edge) as isize).min(self.dims[0] as isize - 1);
+        let cy = (((p.y - self.origin.y) / self.cell_edge) as isize).min(self.dims[1] as isize - 1);
+        let cz = (((p.z - self.origin.z) / self.cell_edge) as isize).min(self.dims[2] as isize - 1);
+        for dz in -1..=1isize {
+            let z = cz + dz;
+            if z < 0 || z >= self.dims[2] as isize {
+                continue;
+            }
+            for dy in -1..=1isize {
+                let y = cy + dy;
+                if y < 0 || y >= self.dims[1] as isize {
+                    continue;
+                }
+                for dx in -1..=1isize {
+                    let x = cx + dx;
+                    if x < 0 || x >= self.dims[0] as isize {
+                        continue;
+                    }
+                    let cell = ((z as usize * self.dims[1] + y as usize) * self.dims[0])
+                        + x as usize;
+                    let start = self.cell_starts[cell] as usize;
+                    let end = self.cell_starts[cell + 1] as usize;
+                    for &j in &self.entries[start..end] {
+                        let j = j as usize;
+                        if j != i && self.positions[j].dist_sq(p) <= c2 {
+                            f(j);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Heap bytes held by the grid itself (not the neighbour lists).
+    pub fn memory_bytes(&self) -> usize {
+        self.cell_starts.capacity() * 4
+            + self.entries.capacity() * 4
+            + self.positions.capacity() * std::mem::size_of::<Vec3>()
+    }
+}
+
+/// A materialized Verlet neighbour list: for every atom, the indices of all
+/// atoms within the cutoff.
+#[derive(Debug)]
+pub struct NbList {
+    /// CSR starts, one per atom plus sentinel.
+    starts: Vec<u64>,
+    neighbors: Vec<u32>,
+    /// The cutoff the list was built with.
+    pub cutoff: f64,
+}
+
+impl NbList {
+    /// Builds the full neighbour list; `work` out-parameter style is
+    /// avoided — the enumeration work equals `total_pairs()`.
+    pub fn build(positions: &[Vec3], cutoff: f64) -> NbList {
+        let cells = CellList::build(positions, cutoff.max(1e-9));
+        let mut starts = Vec::with_capacity(positions.len() + 1);
+        let mut neighbors = Vec::new();
+        starts.push(0u64);
+        for i in 0..positions.len() {
+            cells.for_each_neighbor(i, cutoff, |j| neighbors.push(j as u32));
+            starts.push(neighbors.len() as u64);
+        }
+        NbList { starts, neighbors, cutoff }
+    }
+
+    /// Number of atoms the list covers.
+    pub fn num_atoms(&self) -> usize {
+        self.starts.len().saturating_sub(1)
+    }
+
+    /// Neighbours of atom `i`.
+    pub fn neighbors_of(&self, i: usize) -> &[u32] {
+        let s = self.starts[i] as usize;
+        let e = self.starts[i + 1] as usize;
+        &self.neighbors[s..e]
+    }
+
+    /// Total directed pair count (each unordered pair appears twice).
+    pub fn total_pairs(&self) -> u64 {
+        self.neighbors.len() as u64
+    }
+
+    /// Bytes of neighbour storage — the quantity that grows cubically with
+    /// the cutoff.
+    pub fn memory_bytes(&self) -> usize {
+        self.neighbors.capacity() * 4 + self.starts.capacity() * 8
+    }
+
+    /// Predicted neighbour-storage bytes for a system of `n` atoms at the
+    /// given density (atoms/Å³) — used by the package runner to detect
+    /// out-of-memory *before* allocating.
+    pub fn predicted_bytes(n: usize, density: f64, cutoff: f64) -> f64 {
+        let neighbors_per_atom =
+            4.0 / 3.0 * std::f64::consts::PI * cutoff.powi(3) * density;
+        n as f64 * neighbors_per_atom * 4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_geom::DetRng;
+
+    fn cloud(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = DetRng::new(seed);
+        (0..n)
+            .map(|_| Vec3::new(rng.f64_in(0.0, 20.0), rng.f64_in(0.0, 20.0), rng.f64_in(0.0, 20.0)))
+            .collect()
+    }
+
+    fn brute_neighbors(pts: &[Vec3], i: usize, cutoff: f64) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..pts.len())
+            .filter(|&j| j != i && pts[j].dist_sq(pts[i]) <= cutoff * cutoff)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn cell_list_matches_brute_force() {
+        let pts = cloud(400, 1);
+        let cutoff = 3.5;
+        let cl = CellList::build(&pts, cutoff);
+        for i in (0..pts.len()).step_by(13) {
+            let mut got = Vec::new();
+            cl.for_each_neighbor(i, cutoff, |j| got.push(j));
+            got.sort_unstable();
+            assert_eq!(got, brute_neighbors(&pts, i, cutoff), "atom {i}");
+        }
+    }
+
+    #[test]
+    fn nblist_matches_brute_force() {
+        let pts = cloud(300, 2);
+        let cutoff = 4.0;
+        let nb = NbList::build(&pts, cutoff);
+        assert_eq!(nb.num_atoms(), 300);
+        for i in (0..pts.len()).step_by(7) {
+            let mut got: Vec<usize> = nb.neighbors_of(i).iter().map(|&j| j as usize).collect();
+            got.sort_unstable();
+            assert_eq!(got, brute_neighbors(&pts, i, cutoff), "atom {i}");
+        }
+    }
+
+    #[test]
+    fn nblist_pairs_are_symmetric() {
+        let pts = cloud(200, 3);
+        let nb = NbList::build(&pts, 5.0);
+        for i in 0..pts.len() {
+            for &j in nb.neighbors_of(i) {
+                assert!(
+                    nb.neighbors_of(j as usize).contains(&(i as u32)),
+                    "pair ({i},{j}) not symmetric"
+                );
+            }
+        }
+        assert_eq!(nb.total_pairs() % 2, 0);
+    }
+
+    #[test]
+    fn nblist_memory_grows_cubically_with_cutoff() {
+        // the paper's §II argument, measured for real
+        let pts = cloud(2_000, 4);
+        let small = NbList::build(&pts, 3.0).total_pairs() as f64;
+        let large = NbList::build(&pts, 6.0).total_pairs() as f64;
+        let ratio = large / small;
+        // doubling the cutoff in a dense-enough system: ~8x pairs (boundary
+        // effects pull it down a little)
+        assert!(ratio > 4.0, "pair ratio {ratio} — expected near-cubic growth");
+    }
+
+    #[test]
+    fn predicted_bytes_tracks_actual() {
+        let pts = cloud(3_000, 5);
+        let density = 3_000.0 / (20.0f64.powi(3));
+        let cutoff = 4.0;
+        let nb = NbList::build(&pts, cutoff);
+        let predicted = NbList::predicted_bytes(pts.len(), density, cutoff);
+        let actual = (nb.total_pairs() * 4) as f64;
+        let ratio = predicted / actual;
+        assert!((0.4..=2.5).contains(&ratio), "prediction off by {ratio}");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let nb = NbList::build(&[], 3.0);
+        assert_eq!(nb.num_atoms(), 0);
+        assert_eq!(nb.total_pairs(), 0);
+        let nb = NbList::build(&[Vec3::ZERO], 3.0);
+        assert_eq!(nb.neighbors_of(0).len(), 0);
+    }
+
+    #[test]
+    fn zero_cutoff_behaves() {
+        let pts = cloud(50, 6);
+        let nb = NbList::build(&pts, 1e-9);
+        assert_eq!(nb.total_pairs(), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Fig. 8 as a criterion bench: real wall-clock of each baseline's actual
+//! algorithm (HCT/OBC/STILL/volume-r⁶ + its pair enumeration) against the
+//! shared-memory octree runner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gb_baselines::{all_profiles, run_package};
+use gb_core::runners::run_shared;
+use gb_core::{GbParams, GbSystem};
+use gb_molecule::{synthesize_protein, SyntheticParams};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    let n = 1_200usize;
+    let mol = synthesize_protein(&SyntheticParams::with_atoms(n, 8));
+
+    let sys = GbSystem::prepare(mol.clone(), GbParams::default());
+    group.bench_with_input(BenchmarkId::new("octree_shared", n), &sys, |b, sys| {
+        b.iter(|| run_shared(sys))
+    });
+
+    for profile in all_profiles() {
+        group.bench_with_input(
+            BenchmarkId::new(profile.name.replace(' ', "_"), n),
+            &mol,
+            |b, mol| b.iter(|| run_package(&profile, mol, 12)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(baselines, bench_baselines);
+criterion_main!(baselines);

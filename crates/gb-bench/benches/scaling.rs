@@ -1,0 +1,67 @@
+//! Figs. 5/6/11 as criterion benches: the modeled-replay driver itself
+//! (one full evaluation regardless of simulated core count) at several
+//! rank configurations, plus the work-division ablation (§IV) and the
+//! collective engine of the cluster runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gb_cluster::SimCluster;
+use gb_core::modeled::modeled_run;
+use gb_core::{GbParams, GbSystem, WorkDivision};
+use gb_molecule::{synthesize_protein, virus_shell, SyntheticParams};
+
+fn bench_modeled_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modeled_scaling");
+    group.sample_size(10);
+    let mol = virus_shell(8_000, 11, None);
+    let sys = GbSystem::prepare(mol, GbParams::default());
+    for &(nodes, ranks, threads) in &[(1usize, 12usize, 1usize), (1, 2, 6), (12, 144, 1), (12, 24, 6)] {
+        let cluster = SimCluster::lonestar4(nodes);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ranks}x{threads}")),
+            &sys,
+            |b, sys| b.iter(|| modeled_run(sys, &cluster, ranks, threads, WorkDivision::NodeNode)),
+        );
+    }
+    group.finish();
+}
+
+/// §IV work-division ablation: node-based vs atom-based division cost.
+fn bench_workdiv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("work_division");
+    group.sample_size(10);
+    let mol = synthesize_protein(&SyntheticParams::with_atoms(2_000, 12));
+    let sys = GbSystem::prepare(mol, GbParams::default());
+    let cluster = SimCluster::single_node();
+    for division in [WorkDivision::NodeNode, WorkDivision::AtomNode] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{division:?}")),
+            &sys,
+            |b, sys| b.iter(|| modeled_run(sys, &cluster, 12, 1, division)),
+        );
+    }
+    group.finish();
+}
+
+/// The collective engine: allreduce cost of the real threaded runtime.
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(10);
+    let cluster = SimCluster::single_node();
+    for &ranks in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                cluster.run(ranks, 1, |comm| {
+                    let mut v = vec![comm.rank() as f64; 4096];
+                    for _ in 0..4 {
+                        comm.allreduce_sum(&mut v);
+                    }
+                    v[0]
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(scaling, bench_modeled_scaling, bench_workdiv, bench_collectives);
+criterion_main!(scaling);

@@ -1,0 +1,110 @@
+//! Run-to-run variability model for the min/max curves of Fig. 6.
+//!
+//! The paper runs every configuration 20 times and plots minimum and
+//! maximum running times; the spread comes from OS noise, network
+//! contention and work-stealing randomness. We model a run's multiplicative
+//! noise as lognormal, with communication noisier than compute (shared
+//! fabric), and noise growing mildly with the number of ranks (more
+//! synchronization points to catch stragglers).
+
+use gb_geom::DetRng;
+
+/// Jitter parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct JitterModel {
+    /// Lognormal σ of compute-time noise per run.
+    pub sigma_compute: f64,
+    /// Lognormal σ of communication-time noise per run.
+    pub sigma_comm: f64,
+    /// Additional σ per log₂(ranks).
+    pub sigma_per_log_rank: f64,
+}
+
+impl Default for JitterModel {
+    fn default() -> JitterModel {
+        JitterModel { sigma_compute: 0.03, sigma_comm: 0.15, sigma_per_log_rank: 0.02 }
+    }
+}
+
+impl JitterModel {
+    /// Draws one run's `(compute_factor, comm_factor)` pair.
+    pub fn sample(&self, rng: &mut DetRng, ranks: usize) -> (f64, f64) {
+        let extra = self.sigma_per_log_rank * (ranks.max(1) as f64).log2();
+        let comp = lognormal(rng, self.sigma_compute + extra);
+        let comm = lognormal(rng, self.sigma_comm + extra);
+        (comp, comm)
+    }
+
+    /// Applies `repetitions` jittered draws to a `(compute, comm)` time
+    /// decomposition and returns `(min_total, max_total)` — the whiskers the
+    /// paper plots.
+    pub fn min_max(
+        &self,
+        seed: u64,
+        repetitions: usize,
+        ranks: usize,
+        compute_seconds: f64,
+        comm_seconds: f64,
+    ) -> (f64, f64) {
+        let mut rng = DetRng::new(seed);
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for _ in 0..repetitions.max(1) {
+            let (fc, fm) = self.sample(&mut rng, ranks);
+            // stragglers only slow runs down: floor the factors at 1
+            let t = compute_seconds * fc.max(1.0) + comm_seconds * fm.max(1.0);
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        (lo, hi)
+    }
+}
+
+fn lognormal(rng: &mut DetRng, sigma: f64) -> f64 {
+    (rng.normal() * sigma).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_leq_max_and_both_at_least_base() {
+        let m = JitterModel::default();
+        let (lo, hi) = m.min_max(7, 20, 12, 1.0, 0.5);
+        assert!(lo <= hi);
+        assert!(lo >= 1.5 - 1e-12, "floored factors keep times above base");
+        assert!(hi < 3.0, "jitter should be bounded: {hi}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = JitterModel::default();
+        assert_eq!(m.min_max(1, 20, 12, 1.0, 1.0), m.min_max(1, 20, 12, 1.0, 1.0));
+        assert_ne!(m.min_max(1, 20, 12, 1.0, 1.0), m.min_max(2, 20, 12, 1.0, 1.0));
+    }
+
+    #[test]
+    fn spread_grows_with_ranks() {
+        let m = JitterModel::default();
+        let spread = |ranks| {
+            let (lo, hi) = m.min_max(3, 50, ranks, 1.0, 1.0);
+            hi - lo
+        };
+        assert!(spread(256) > spread(2));
+    }
+
+    #[test]
+    fn comm_noise_exceeds_compute_noise() {
+        let m = JitterModel::default();
+        let comm_spread = {
+            let (lo, hi) = m.min_max(5, 50, 12, 0.0, 1.0);
+            hi - lo
+        };
+        let comp_spread = {
+            let (lo, hi) = m.min_max(5, 50, 12, 1.0, 0.0);
+            hi - lo
+        };
+        assert!(comm_spread > comp_spread);
+    }
+}

@@ -1,0 +1,143 @@
+//! Aligned-text / CSV tables for figure output.
+
+use std::fmt::Write as _;
+
+/// A simple column-oriented results table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title (figure/table id plus description).
+    pub title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Convenience: appends a row of displayable values.
+    pub fn push<D: std::fmt::Display>(&mut self, cells: &[D]) {
+        self.row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as aligned monospace text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC-4180-ish; quotes cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV under `dir/<slug>.csv`, creating the directory.
+    pub fn write_csv(&self, dir: &std::path::Path, slug: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{slug}.csv")), self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig. X — demo", &["name", "value"]);
+        t.push(&["a", "1"]);
+        t.push(&["longer-name", "2.5"]);
+        t
+    }
+
+    #[test]
+    fn text_rendering_is_aligned() {
+        let text = sample().to_text();
+        assert!(text.contains("== Fig. X — demo =="));
+        let lines: Vec<&str> = text.lines().collect();
+        // title + header + separator + 2 rows
+        assert_eq!(lines.len(), 5);
+        // all data lines end aligned on the value column
+        assert!(lines[3].ends_with('1'));
+        assert!(lines[4].ends_with("2.5"));
+    }
+
+    #[test]
+    fn csv_rendering_and_escaping() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push(&["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push(&["only-one"]);
+    }
+
+    #[test]
+    fn csv_file_roundtrip() {
+        let dir = std::env::temp_dir().join("gb-bench-test");
+        sample().write_csv(&dir, "demo").unwrap();
+        let read = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert_eq!(read, sample().to_csv());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

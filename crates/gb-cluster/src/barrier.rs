@@ -1,0 +1,118 @@
+//! A reusable generation-counted barrier.
+//!
+//! `std::sync::Barrier` exists, but the collective engine needs a barrier
+//! whose wait reports whether the caller was the *last* to arrive (the rank
+//! that performs the reduction in our collectives), and `parking_lot`'s
+//! condvars are faster under the heavy reuse our supersteps produce.
+
+use parking_lot::{Condvar, Mutex};
+
+struct State {
+    /// Ranks still expected in the current generation.
+    remaining: usize,
+    /// Generation counter; bumped when a generation completes.
+    generation: u64,
+}
+
+/// A reusable barrier for a fixed number of participants.
+pub struct Barrier {
+    n: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Barrier {
+    /// Creates a barrier for `n` participants (`n >= 1`).
+    pub fn new(n: usize) -> Barrier {
+        assert!(n >= 1);
+        Barrier { n, state: Mutex::new(State { remaining: n, generation: 0 }), cv: Condvar::new() }
+    }
+
+    /// Blocks until all `n` participants have called `wait` in this
+    /// generation. Returns `true` for exactly one caller per generation
+    /// (the last to arrive).
+    pub fn wait(&self) -> bool {
+        let mut s = self.state.lock();
+        s.remaining -= 1;
+        if s.remaining == 0 {
+            s.remaining = self.n;
+            s.generation += 1;
+            self.cv.notify_all();
+            true
+        } else {
+            let gen = s.generation;
+            while s.generation == gen {
+                self.cv.wait(&mut s);
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = Barrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+    }
+
+    #[test]
+    fn exactly_one_leader_per_generation() {
+        let n = 8;
+        let b = Arc::new(Barrier::new(n));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let rounds = 20;
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let b = b.clone();
+                let leaders = leaders.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..rounds {
+                        if b.wait() {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::Relaxed), rounds);
+    }
+
+    #[test]
+    fn barrier_actually_synchronizes() {
+        // no thread may start phase 2 before all finished phase 1
+        let n = 6;
+        let b = Arc::new(Barrier::new(n));
+        let phase1_done = Arc::new(AtomicUsize::new(0));
+        let violations = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let b = b.clone();
+                let done = phase1_done.clone();
+                let viol = violations.clone();
+                std::thread::spawn(move || {
+                    // stagger arrivals
+                    std::thread::sleep(std::time::Duration::from_millis(i as u64 * 3));
+                    done.fetch_add(1, Ordering::SeqCst);
+                    b.wait();
+                    if done.load(Ordering::SeqCst) != n {
+                        viol.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+}

@@ -1,0 +1,711 @@
+//! The MPI-like runtime: ranks as threads, explicit messages, collectives.
+//!
+//! [`SimCluster::run`] launches one OS thread per rank. Ranks share *no*
+//! mutable algorithm state — exactly like MPI processes, each works on its
+//! own replicated copy of the input — and interact only through the
+//! [`Comm`] handle:
+//!
+//! * point-to-point `send_f64` / `recv_f64` over per-pair channels,
+//! * the collectives the paper's Fig. 4 algorithm uses: `barrier`,
+//!   `broadcast`, `reduce_sum`, `allreduce_sum`, `allgatherv`, `gather`.
+//!
+//! Every operation records its modeled cost (per the
+//! [`CostModel`](crate::costmodel::CostModel)) into the rank's
+//! [`RankLedger`](crate::accounting::RankLedger); compute code records its
+//! own work units via [`Comm::record_work`]. All collective reductions sum
+//! in rank order, so results are bitwise deterministic and identical on all
+//! ranks regardless of thread scheduling.
+
+use crate::accounting::{RankLedger, RunReport};
+use crate::barrier::Barrier;
+use crate::costmodel::{CommLevel, CostModel};
+use crate::topology::{ClusterTopology, Placement};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Shared collective-exchange state for one run.
+struct CollectiveCtx {
+    barrier: Barrier,
+    /// One deposit slot per rank, reused across collectives (the
+    /// double-barrier protocol guarantees exclusive generations).
+    slots: Mutex<Vec<Option<Vec<f64>>>>,
+}
+
+/// A simulated cluster: topology plus cost model.
+#[derive(Clone, Debug)]
+pub struct SimCluster {
+    pub topology: ClusterTopology,
+    pub cost: CostModel,
+}
+
+impl SimCluster {
+    /// Creates a cluster.
+    pub fn new(topology: ClusterTopology, cost: CostModel) -> SimCluster {
+        SimCluster { topology, cost }
+    }
+
+    /// A single Lonestar4-style node (12 cores) with default costs.
+    pub fn single_node() -> SimCluster {
+        SimCluster::new(ClusterTopology::lonestar4(1), CostModel::default())
+    }
+
+    /// A Lonestar4-style cluster of `nodes` nodes with default costs.
+    pub fn lonestar4(nodes: usize) -> SimCluster {
+        SimCluster::new(ClusterTopology::lonestar4(nodes), CostModel::default())
+    }
+
+    /// Runs `f` on `ranks` ranks, each occupying `threads_per_rank` cores
+    /// (1 for the pure distributed configuration, >1 for hybrid). Returns
+    /// each rank's result plus the accounting report.
+    ///
+    /// Deterministic: collective results are rank-order sums, and rank `i`'s
+    /// result lands at index `i`.
+    pub fn run<R, F>(&self, ranks: usize, threads_per_rank: usize, f: F) -> (Vec<R>, RunReport)
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        assert!(ranks >= 1);
+        let placements = Arc::new(self.topology.place(ranks, threads_per_rank));
+        let level = CostModel::worst_level(&placements);
+        let ctx = Arc::new(CollectiveCtx {
+            barrier: Barrier::new(ranks),
+            slots: Mutex::new(vec![None; ranks]),
+        });
+
+        // P×P channel matrix; rank r owns receivers[..][r].
+        let mut senders: Vec<Vec<Sender<Vec<f64>>>> = Vec::with_capacity(ranks);
+        let mut receivers: Vec<Vec<Option<Receiver<Vec<f64>>>>> =
+            (0..ranks).map(|_| (0..ranks).map(|_| None).collect()).collect();
+        for from in 0..ranks {
+            let mut row = Vec::with_capacity(ranks);
+            for to in 0..ranks {
+                let (s, r) = unbounded();
+                row.push(s);
+                receivers[to][from] = Some(r);
+            }
+            senders.push(row);
+        }
+        let senders = Arc::new(senders);
+
+        let start = std::time::Instant::now();
+        let mut outputs: Vec<Option<(R, RankLedger)>> = (0..ranks).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(ranks);
+            for (rank, slot) in outputs.iter_mut().enumerate() {
+                let my_receivers: Vec<Receiver<Vec<f64>>> =
+                    receivers[rank].iter_mut().map(|r| r.take().unwrap()).collect();
+                let ctx = ctx.clone();
+                let senders = senders.clone();
+                let placements = placements.clone();
+                let cost = self.cost;
+                let f = &f;
+                handles.push(scope.spawn(move |_| {
+                    let mut comm = Comm {
+                        rank,
+                        size: ranks,
+                        threads_per_rank,
+                        level,
+                        cost,
+                        placements,
+                        ctx,
+                        senders,
+                        receivers: my_receivers,
+                        ledger: RankLedger::default(),
+                    };
+                    let r = f(&mut comm);
+                    *slot = Some((r, comm.ledger));
+                }));
+            }
+            for h in handles {
+                h.join().expect("rank thread panicked");
+            }
+        })
+        .expect("cluster scope failed");
+
+        let wall = start.elapsed().as_secs_f64();
+        let mut results = Vec::with_capacity(ranks);
+        let mut ledgers = Vec::with_capacity(ranks);
+        for out in outputs {
+            let (r, l) = out.expect("rank produced no result");
+            results.push(r);
+            ledgers.push(l);
+        }
+        let report = RunReport {
+            ledgers,
+            placements: Arc::try_unwrap(placements).unwrap_or_else(|a| (*a).clone()),
+            wall_seconds: wall,
+        };
+        (results, report)
+    }
+}
+
+/// Per-rank communicator handle (the `MPI_COMM_WORLD` analog).
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    threads_per_rank: usize,
+    level: CommLevel,
+    cost: CostModel,
+    placements: Arc<Vec<Placement>>,
+    ctx: Arc<CollectiveCtx>,
+    senders: Arc<Vec<Vec<Sender<Vec<f64>>>>>,
+    receivers: Vec<Receiver<Vec<f64>>>,
+    ledger: RankLedger,
+}
+
+impl Comm {
+    /// This rank's id, `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the run.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Threads (cores) available inside this rank.
+    #[inline]
+    pub fn threads_per_rank(&self) -> usize {
+        self.threads_per_rank
+    }
+
+    /// This rank's placement.
+    pub fn placement(&self) -> Placement {
+        self.placements[self.rank]
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Records compute work (units ≈ pair interactions).
+    #[inline]
+    pub fn record_work(&mut self, units: f64) {
+        self.ledger.add_work(units);
+    }
+
+    /// Records this rank's replicated working set (peak bytes).
+    #[inline]
+    pub fn record_replicated(&mut self, bytes: u64) {
+        self.ledger.record_replicated(bytes);
+    }
+
+    /// Records work-stealing events (hybrid runner instrumentation).
+    #[inline]
+    pub fn record_steals(&mut self, n: u64) {
+        self.ledger.steals += n;
+    }
+
+    /// Blocking point-to-point send of an f64 payload.
+    pub fn send_f64(&mut self, to: usize, payload: Vec<f64>) {
+        assert!(to < self.size && to != self.rank, "bad destination {to}");
+        let words = payload.len();
+        let level = CommLevel::between(&self.placements[self.rank], &self.placements[to]);
+        self.ledger.add_comm(self.cost.p2p(level, words), (words * 8) as u64);
+        self.senders[self.rank][to].send(payload).expect("receiver dropped");
+    }
+
+    /// Blocking receive from a specific source rank.
+    pub fn recv_f64(&mut self, from: usize) -> Vec<f64> {
+        assert!(from < self.size && from != self.rank, "bad source {from}");
+        let payload = self.receivers[from].recv().expect("sender dropped");
+        // Receiver pays latency too (it idles for the message).
+        let level = CommLevel::between(&self.placements[self.rank], &self.placements[from]);
+        self.ledger.add_comm(self.cost.p2p(level, payload.len()), 0);
+        payload
+    }
+
+    /// Barrier across all ranks.
+    pub fn barrier(&mut self) {
+        self.ctx.barrier.wait();
+        self.ledger.add_comm(self.cost.barrier(self.level, self.size), 0);
+    }
+
+    /// Element-wise sum-allreduce, in place. All ranks receive the identical
+    /// rank-order sum (bitwise deterministic).
+    pub fn allreduce_sum(&mut self, data: &mut [f64]) {
+        if self.size == 1 {
+            return;
+        }
+        self.deposit(data.to_vec());
+        self.ctx.barrier.wait();
+        {
+            let slots = self.ctx.slots.lock();
+            for x in data.iter_mut() {
+                *x = 0.0;
+            }
+            for r in 0..self.size {
+                let contrib = slots[r].as_ref().expect("missing contribution");
+                assert_eq!(contrib.len(), data.len(), "allreduce length mismatch");
+                for (x, c) in data.iter_mut().zip(contrib) {
+                    *x += *c;
+                }
+            }
+        }
+        self.finish_collective();
+        self.ledger
+            .add_comm(self.cost.allreduce(self.level, self.size, data.len()), (data.len() * 8) as u64);
+    }
+
+    /// Element-wise max-allreduce, in place (used for global extrema, e.g.
+    /// Born-radius bin ranges; reduce a minimum by negating).
+    pub fn allreduce_max(&mut self, data: &mut [f64]) {
+        if self.size == 1 {
+            return;
+        }
+        self.deposit(data.to_vec());
+        self.ctx.barrier.wait();
+        {
+            let slots = self.ctx.slots.lock();
+            for x in data.iter_mut() {
+                *x = f64::NEG_INFINITY;
+            }
+            for r in 0..self.size {
+                let contrib = slots[r].as_ref().expect("missing contribution");
+                assert_eq!(contrib.len(), data.len(), "allreduce length mismatch");
+                for (x, c) in data.iter_mut().zip(contrib) {
+                    *x = x.max(*c);
+                }
+            }
+        }
+        self.finish_collective();
+        self.ledger
+            .add_comm(self.cost.allreduce(self.level, self.size, data.len()), (data.len() * 8) as u64);
+    }
+
+    /// Sum-reduce to `root`; returns `Some(sum)` on root, `None` elsewhere.
+    pub fn reduce_sum(&mut self, root: usize, data: &[f64]) -> Option<Vec<f64>> {
+        if self.size == 1 {
+            return Some(data.to_vec());
+        }
+        self.deposit(data.to_vec());
+        self.ctx.barrier.wait();
+        let result = if self.rank == root {
+            let slots = self.ctx.slots.lock();
+            let mut acc = vec![0.0; data.len()];
+            for r in 0..self.size {
+                let contrib = slots[r].as_ref().expect("missing contribution");
+                for (x, c) in acc.iter_mut().zip(contrib) {
+                    *x += *c;
+                }
+            }
+            Some(acc)
+        } else {
+            None
+        };
+        self.finish_collective();
+        self.ledger
+            .add_comm(self.cost.allreduce(self.level, self.size, data.len()), (data.len() * 8) as u64);
+        result
+    }
+
+    /// Broadcast from `root`: non-root ranks receive root's payload.
+    pub fn broadcast(&mut self, root: usize, data: &mut Vec<f64>) {
+        if self.size == 1 {
+            return;
+        }
+        if self.rank == root {
+            self.deposit(data.clone());
+        }
+        self.ctx.barrier.wait();
+        if self.rank != root {
+            let slots = self.ctx.slots.lock();
+            *data = slots[root].as_ref().expect("root deposited nothing").clone();
+        }
+        self.finish_collective();
+        self.ledger
+            .add_comm(self.cost.broadcast(self.level, self.size, data.len()), (data.len() * 8) as u64);
+    }
+
+    /// Variable-length allgather: every rank contributes `local`; all ranks
+    /// receive the rank-order concatenation.
+    pub fn allgatherv(&mut self, local: &[f64]) -> Vec<f64> {
+        if self.size == 1 {
+            return local.to_vec();
+        }
+        self.deposit(local.to_vec());
+        self.ctx.barrier.wait();
+        let mut out;
+        {
+            let slots = self.ctx.slots.lock();
+            let total: usize = slots.iter().map(|s| s.as_ref().map_or(0, |v| v.len())).sum();
+            out = Vec::with_capacity(total);
+            for r in 0..self.size {
+                out.extend_from_slice(slots[r].as_ref().expect("missing contribution"));
+            }
+        }
+        self.finish_collective();
+        let avg_words = out.len() / self.size.max(1);
+        self.ledger
+            .add_comm(self.cost.allgather(self.level, self.size, avg_words), (local.len() * 8) as u64);
+        out
+    }
+
+    /// Scatter from `root`: rank `i` receives `chunks[i]`. Non-root ranks
+    /// pass anything (ignored).
+    pub fn scatter(&mut self, root: usize, chunks: &[Vec<f64>]) -> Vec<f64> {
+        if self.size == 1 {
+            return chunks.first().cloned().unwrap_or_default();
+        }
+        if self.rank == root {
+            assert_eq!(chunks.len(), self.size, "scatter needs one chunk per rank");
+            // deposit the concatenation with a length header per rank
+            let mut flat = Vec::new();
+            for c in chunks {
+                flat.push(c.len() as f64);
+                flat.extend_from_slice(c);
+            }
+            self.deposit(flat);
+        }
+        self.ctx.barrier.wait();
+        let mine;
+        {
+            let slots = self.ctx.slots.lock();
+            let flat = slots[root].as_ref().expect("root deposited nothing");
+            let mut cursor = 0usize;
+            let mut found = Vec::new();
+            for r in 0..self.size {
+                let len = flat[cursor] as usize;
+                cursor += 1;
+                if r == self.rank {
+                    found = flat[cursor..cursor + len].to_vec();
+                }
+                cursor += len;
+            }
+            mine = found;
+        }
+        self.finish_collective();
+        self.ledger
+            .add_comm(self.cost.allgather(self.level, self.size, mine.len()), (mine.len() * 8) as u64);
+        mine
+    }
+
+    /// Reduce-scatter: element-wise sum across ranks, then rank `i` keeps
+    /// the `i`-th even segment of the result (the fused primitive real MPI
+    /// codes use for exactly the Step-3+Step-4 pattern of the paper's
+    /// algorithm).
+    pub fn reduce_scatter_sum(&mut self, data: &[f64]) -> Vec<f64> {
+        let mut full = data.to_vec();
+        if self.size > 1 {
+            self.allreduce_sum(&mut full);
+        }
+        let n = full.len();
+        let base = n / self.size;
+        let extra = n % self.size;
+        let start = self.rank * base + self.rank.min(extra);
+        let len = base + usize::from(self.rank < extra);
+        full[start..start + len].to_vec()
+    }
+
+    /// Inclusive prefix-sum scan: rank `i` receives `Σ_{r ≤ i} contrib_r`,
+    /// element-wise.
+    pub fn scan_sum(&mut self, data: &[f64]) -> Vec<f64> {
+        if self.size == 1 {
+            return data.to_vec();
+        }
+        self.deposit(data.to_vec());
+        self.ctx.barrier.wait();
+        let mut acc = vec![0.0; data.len()];
+        {
+            let slots = self.ctx.slots.lock();
+            for r in 0..=self.rank {
+                let contrib = slots[r].as_ref().expect("missing contribution");
+                assert_eq!(contrib.len(), data.len(), "scan length mismatch");
+                for (x, c) in acc.iter_mut().zip(contrib) {
+                    *x += *c;
+                }
+            }
+        }
+        self.finish_collective();
+        self.ledger
+            .add_comm(self.cost.allreduce(self.level, self.size, data.len()), (data.len() * 8) as u64);
+        acc
+    }
+
+    /// Gather to `root`: root receives every rank's payload by rank.
+    pub fn gather(&mut self, root: usize, local: &[f64]) -> Option<Vec<Vec<f64>>> {
+        if self.size == 1 {
+            return Some(vec![local.to_vec()]);
+        }
+        self.deposit(local.to_vec());
+        self.ctx.barrier.wait();
+        let result = if self.rank == root {
+            let slots = self.ctx.slots.lock();
+            Some((0..self.size).map(|r| slots[r].clone().expect("missing contribution")).collect())
+        } else {
+            None
+        };
+        self.finish_collective();
+        self.ledger
+            .add_comm(self.cost.allgather(self.level, self.size, local.len()), (local.len() * 8) as u64);
+        result
+    }
+
+    fn deposit(&self, payload: Vec<f64>) {
+        self.ctx.slots.lock()[self.rank] = Some(payload);
+    }
+
+    /// Second barrier of the double-barrier protocol; the last rank out
+    /// clears the slots for the next collective.
+    fn finish_collective(&self) {
+        if self.ctx.barrier.wait() {
+            let mut slots = self.ctx.slots.lock();
+            for s in slots.iter_mut() {
+                *s = None;
+            }
+        }
+        // Third rendezvous: nobody may deposit for the *next* collective
+        // until the slots are cleared.
+        self.ctx.barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> SimCluster {
+        SimCluster::lonestar4(2)
+    }
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let (results, report) = cluster().run(8, 1, |c| (c.rank(), c.size()));
+        assert_eq!(results.len(), 8);
+        for (i, (r, s)) in results.iter().enumerate() {
+            assert_eq!(*r, i);
+            assert_eq!(*s, 8);
+        }
+        assert_eq!(report.num_ranks(), 8);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_identity() {
+        let (results, _) = cluster().run(1, 1, |c| {
+            let mut v = vec![1.0, 2.0];
+            c.allreduce_sum(&mut v);
+            c.barrier();
+            let g = c.allgatherv(&[5.0]);
+            let r = c.reduce_sum(0, &[7.0]).unwrap();
+            (v, g, r)
+        });
+        assert_eq!(results[0].0, vec![1.0, 2.0]);
+        assert_eq!(results[0].1, vec![5.0]);
+        assert_eq!(results[0].2, vec![7.0]);
+    }
+
+    #[test]
+    fn allreduce_sums_identically_everywhere() {
+        let p = 6;
+        let (results, _) = cluster().run(p, 1, |c| {
+            let mut v = vec![c.rank() as f64, 1.0, (c.rank() * c.rank()) as f64];
+            c.allreduce_sum(&mut v);
+            v
+        });
+        let want = vec![15.0, 6.0, 55.0]; // Σr, Σ1, Σr² for r in 0..6
+        for r in &results {
+            assert_eq!(*r, want);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        let (results, _) = cluster().run(4, 1, |c| {
+            let mut total = 0.0;
+            for round in 0..10 {
+                let mut v = vec![(c.rank() + round) as f64];
+                c.allreduce_sum(&mut v);
+                total += v[0];
+            }
+            total
+        });
+        // Σ_rounds Σ_ranks (rank + round) = Σ_rounds (6 + 4*round) = 60 + 4*45
+        for r in &results {
+            assert_eq!(*r, 240.0);
+        }
+    }
+
+    #[test]
+    fn allgatherv_concatenates_in_rank_order() {
+        let (results, _) = cluster().run(5, 1, |c| {
+            // variable lengths: rank r contributes r+1 copies of r
+            let local = vec![c.rank() as f64; c.rank() + 1];
+            c.allgatherv(&local)
+        });
+        let want = vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 4.0, 4.0];
+        for r in &results {
+            assert_eq!(*r, want);
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_root_payload() {
+        let (results, _) = cluster().run(7, 1, |c| {
+            let mut v = if c.rank() == 3 { vec![42.0, -1.0] } else { Vec::new() };
+            c.broadcast(3, &mut v);
+            v
+        });
+        for r in &results {
+            assert_eq!(*r, vec![42.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_sum_only_root_receives() {
+        let (results, _) = cluster().run(6, 1, |c| c.reduce_sum(2, &[c.rank() as f64 + 1.0]));
+        for (i, r) in results.iter().enumerate() {
+            if i == 2 {
+                assert_eq!(r.as_ref().unwrap(), &vec![21.0]);
+            } else {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_by_rank() {
+        let (results, _) = cluster().run(4, 1, |c| c.gather(0, &[c.rank() as f64]));
+        let got = results[0].as_ref().unwrap();
+        assert_eq!(got.len(), 4);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(v, &vec![i as f64]);
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_per_rank_chunks() {
+        let (results, _) = cluster().run(4, 1, |c| {
+            let chunks: Vec<Vec<f64>> = if c.rank() == 1 {
+                (0..4).map(|r| vec![r as f64; r + 1]).collect()
+            } else {
+                Vec::new()
+            };
+            c.scatter(1, &chunks)
+        });
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, vec![i as f64; i + 1], "rank {i}");
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_partitions_the_sum() {
+        let p = 3;
+        let n = 7; // deliberately not divisible by p
+        let (results, _) = cluster().run(p, 1, |c| {
+            let local: Vec<f64> = (0..n).map(|k| (k * (c.rank() + 1)) as f64).collect();
+            c.reduce_scatter_sum(&local)
+        });
+        // total sum at index k = k * (1+2+3) = 6k
+        let full: Vec<f64> = (0..n).map(|k| (6 * k) as f64).collect();
+        let got: Vec<f64> = results.iter().flat_map(|r| r.iter().copied()).collect();
+        assert_eq!(got, full);
+        // uneven split: 3,2,2
+        assert_eq!(results[0].len(), 3);
+        assert_eq!(results[1].len(), 2);
+    }
+
+    #[test]
+    fn scan_sum_is_inclusive_prefix() {
+        let (results, _) = cluster().run(5, 1, |c| c.scan_sum(&[(c.rank() + 1) as f64]));
+        let want = [1.0, 3.0, 6.0, 10.0, 15.0];
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r[0], want[i], "rank {i}");
+        }
+    }
+
+    #[test]
+    fn mixed_collective_sequence_is_consistent() {
+        // exercise slot reuse across different collective kinds
+        let (results, _) = cluster().run(4, 1, |c| {
+            let mut v = vec![c.rank() as f64];
+            c.allreduce_sum(&mut v); // 6
+            let s = c.scan_sum(&[v[0]]); // 6*(rank+1)
+            let mut b = if c.rank() == 0 { vec![s[0]] } else { vec![] };
+            c.broadcast(0, &mut b); // 6 everywhere
+            let g = c.allgatherv(&s); // [6,12,18,24]
+            (b[0], g)
+        });
+        for (i, (b, g)) in results.iter().enumerate() {
+            assert_eq!(*b, 6.0, "rank {i}");
+            assert_eq!(*g, vec![6.0, 12.0, 18.0, 24.0]);
+        }
+    }
+
+    #[test]
+    fn p2p_ring_passes_messages() {
+        let p = 5;
+        let (results, _) = cluster().run(p, 1, |c| {
+            let next = (c.rank() + 1) % p;
+            let prev = (c.rank() + p - 1) % p;
+            c.send_f64(next, vec![c.rank() as f64]);
+            let got = c.recv_f64(prev);
+            got[0]
+        });
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, ((i + p - 1) % p) as f64);
+        }
+    }
+
+    #[test]
+    fn accounting_captures_comm_and_work() {
+        let (_, report) = cluster().run(4, 1, |c| {
+            c.record_work(1000.0);
+            c.record_replicated(1 << 20);
+            let mut v = vec![1.0; 256];
+            c.allreduce_sum(&mut v);
+        });
+        for l in &report.ledgers {
+            assert_eq!(l.work_units, 1000.0);
+            assert!(l.comm_seconds > 0.0);
+            assert!(l.bytes_moved >= 256 * 8);
+            assert_eq!(l.replicated_bytes, 1 << 20);
+        }
+        let t = report.modeled_time(&CostModel::default());
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn cross_node_costs_more_than_single_node() {
+        // Same program, same total ranks: spread across 2 nodes vs 1 node.
+        let run_comm = |cluster: &SimCluster, ranks: usize| {
+            let (_, report) = cluster.run(ranks, 1, |c| {
+                let mut v = vec![0.0; 4096];
+                for _ in 0..8 {
+                    c.allreduce_sum(&mut v);
+                }
+            });
+            report.ledgers[0].comm_seconds
+        };
+        let one_node = run_comm(&SimCluster::lonestar4(1), 12);
+        let two_nodes = run_comm(&SimCluster::lonestar4(2), 24);
+        assert!(
+            two_nodes > one_node,
+            "cross-node comm {two_nodes} should exceed intra-node {one_node}"
+        );
+    }
+
+    #[test]
+    fn hybrid_placement_reduces_rank_count_and_comm() {
+        // 12 cores as 12x1 (distributed) vs 2x6 (hybrid): fewer ranks =>
+        // cheaper collectives, the §IV-B claim.
+        let cluster = SimCluster::lonestar4(1);
+        let comm_of = |ranks: usize, tpr: usize| {
+            let (_, report) = cluster.run(ranks, tpr, |c| {
+                let mut v = vec![0.0; 4096];
+                for _ in 0..8 {
+                    c.allreduce_sum(&mut v);
+                }
+            });
+            report.ledgers[0].comm_seconds
+        };
+        let distributed = comm_of(12, 1);
+        let hybrid = comm_of(2, 6);
+        assert!(hybrid < distributed, "hybrid {hybrid} vs distributed {distributed}");
+    }
+}

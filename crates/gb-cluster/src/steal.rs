@@ -1,0 +1,202 @@
+//! An instrumented randomized work-stealing task pool.
+//!
+//! This is the cilk++-style dynamic load balancer the paper uses *inside*
+//! each compute node: every worker owns a deque, pushes its own tasks at the
+//! bottom, pops from the bottom, and — when empty — steals from the *top* of
+//! a uniformly random victim's deque (oldest task first, the
+//! locality-preserving choice the paper's §IV-A describes). Steal counts are
+//! recorded so tests and the work-division ablation can observe scheduler
+//! behaviour.
+//!
+//! The pool executes a fixed set of indexed tasks (`0..n`), which is what
+//! the octree runners need: a task is "process leaf `i` of my segment".
+//! Determinism of *results* is guaranteed by the caller (each task writes
+//! only to its own output slot); the schedule itself is nondeterministic,
+//! like any work-stealing runtime.
+
+use gb_geom::DetRng;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A work-stealing pool over indexed tasks.
+pub struct StealPool {
+    workers: usize,
+}
+
+/// Statistics of one pool execution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StealStats {
+    /// Successful steals across all workers.
+    pub steals: u64,
+    /// Failed steal attempts (victim empty).
+    pub failed_steals: u64,
+    /// Tasks executed in total (== number of tasks submitted).
+    pub executed: u64,
+}
+
+impl StealPool {
+    /// Creates a pool with `workers` workers (at least 1).
+    pub fn new(workers: usize) -> StealPool {
+        StealPool { workers: workers.max(1) }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes tasks `0..n`, calling `task(worker_id, task_index)` for
+    /// each exactly once, and returns scheduler statistics.
+    ///
+    /// Tasks are dealt to worker deques round-robin (the static split the
+    /// dynamic scheduler then rebalances). `seed` drives victim selection.
+    pub fn run<F>(&self, n: usize, seed: u64, task: F) -> StealStats
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if n == 0 {
+            return StealStats::default();
+        }
+        let w = self.workers.min(n);
+        // Round-robin initial deal.
+        let deques: Vec<Mutex<VecDeque<usize>>> =
+            (0..w).map(|_| Mutex::new(VecDeque::new())).collect();
+        for i in 0..n {
+            deques[i % w].lock().push_back(i);
+        }
+        let remaining = AtomicUsize::new(n);
+        let steals = AtomicU64::new(0);
+        let failed = AtomicU64::new(0);
+        let executed = AtomicU64::new(0);
+
+        crossbeam::thread::scope(|scope| {
+            for wid in 0..w {
+                let deques = &deques;
+                let remaining = &remaining;
+                let steals = &steals;
+                let failed = &failed;
+                let executed = &executed;
+                let task = &task;
+                let mut rng = DetRng::new(seed ^ (wid as u64).wrapping_mul(0x9E37_79B9));
+                scope.spawn(move |_| loop {
+                    // Pop own work from the bottom (LIFO — cache-warm).
+                    let own = deques[wid].lock().pop_back();
+                    if let Some(i) = own {
+                        task(wid, i);
+                        executed.fetch_add(1, Ordering::Relaxed);
+                        remaining.fetch_sub(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if remaining.load(Ordering::Relaxed) == 0 {
+                        break;
+                    }
+                    if w == 1 {
+                        continue;
+                    }
+                    // Steal from the top of a random victim (FIFO — oldest).
+                    let mut victim = rng.usize_below(w - 1);
+                    if victim >= wid {
+                        victim += 1;
+                    }
+                    let stolen = deques[victim].lock().pop_front();
+                    if let Some(i) = stolen {
+                        steals.fetch_add(1, Ordering::Relaxed);
+                        task(wid, i);
+                        executed.fetch_add(1, Ordering::Relaxed);
+                        remaining.fetch_sub(1, Ordering::Relaxed);
+                    } else {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        })
+        .expect("steal pool scope failed");
+
+        StealStats {
+            steals: steals.load(Ordering::Relaxed),
+            failed_steals: failed.load(Ordering::Relaxed),
+            executed: executed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let n = 500;
+        let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let stats = StealPool::new(4).run(n, 7, |_, i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(stats.executed, n as u64);
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let stats = StealPool::new(4).run(0, 1, |_, _| panic!("no tasks expected"));
+        assert_eq!(stats.executed, 0);
+        assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn single_worker_never_steals() {
+        let stats = StealPool::new(1).run(100, 1, |w, _| assert_eq!(w, 0));
+        assert_eq!(stats.steals, 0);
+        assert_eq!(stats.executed, 100);
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let n = 3;
+        let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let stats = StealPool::new(16).run(n, 5, |_, i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(stats.executed, 3);
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn imbalanced_tasks_trigger_steals() {
+        // Tasks 0..8 are slow and all land (round-robin, 8 workers) one per
+        // worker; tasks 8.. are fast and dealt round-robin as well, but if
+        // worker 0's tasks are made very slow, others should steal from it.
+        // Give worker 0 a pile: use 2 workers, n tasks where even-index
+        // tasks (worker 0's deal) are slow.
+        let n = 64;
+        let stats = StealPool::new(2).run(n, 11, |_, i| {
+            if i % 2 == 0 {
+                // worker 0's initial deal: slow tasks
+                std::thread::sleep(std::time::Duration::from_micros(300));
+            }
+        });
+        assert_eq!(stats.executed, n as u64);
+        assert!(stats.steals > 0, "expected steals under imbalance");
+    }
+
+    #[test]
+    fn results_are_deterministic_even_if_schedule_is_not() {
+        // Each task writes f(i) to its own slot; any schedule yields the
+        // same output vector.
+        let n = 200;
+        let run = || {
+            let out: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            StealPool::new(4).run(n, 3, |_, i| {
+                out[i].store((i * i) as u32, Ordering::Relaxed);
+            });
+            out.iter().map(|a| a.load(Ordering::Relaxed)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,74 @@
+//! Error metrics for the accuracy experiments (paper Figs. 9–11).
+
+/// Signed percent error of `approx` relative to `exact`.
+pub fn percent_error(approx: f64, exact: f64) -> f64 {
+    if exact == 0.0 {
+        if approx == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (approx - exact) / exact.abs() * 100.0
+    }
+}
+
+/// Summary statistics over a set of per-molecule errors — the
+/// `avg ± std` with min/max whiskers the paper plots in Fig. 10.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ErrorStats {
+    pub mean: f64,
+    pub std: f64,
+    pub min: f64,
+    pub max: f64,
+    pub count: usize,
+}
+
+impl ErrorStats {
+    /// Computes statistics over samples. Returns the default (all-zero)
+    /// stats for an empty slice.
+    pub fn from_samples(samples: &[f64]) -> ErrorStats {
+        if samples.is_empty() {
+            return ErrorStats::default();
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        ErrorStats {
+            mean,
+            std: var.sqrt(),
+            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            count: samples.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_error_signs() {
+        assert_eq!(percent_error(-101.0, -100.0), -1.0);
+        assert_eq!(percent_error(-99.0, -100.0), 1.0);
+        assert_eq!(percent_error(110.0, 100.0), 10.0);
+        assert_eq!(percent_error(0.0, 0.0), 0.0);
+        assert!(percent_error(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn stats_of_known_samples() {
+        let s = ErrorStats::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.count, 4);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats() {
+        assert_eq!(ErrorStats::from_samples(&[]), ErrorStats::default());
+    }
+}

@@ -1,0 +1,603 @@
+//! The data-distributed runner — the paper's second §VI future-work item:
+//! *"Distributing data as well as computation is also an interesting
+//! approach to explore."*
+//!
+//! Unlike [`distributed`](crate::runners::distributed), where every rank
+//! holds a full replicated copy of the molecule, surface and both octrees,
+//! each rank here owns only:
+//!
+//! * the octree **skeletons** — node geometry (centroid, radius, ranges,
+//!   child links) and the per-node pseudo-particle aggregates, O(nodes)
+//!   and cheap to replicate (this is the classic *locally essential tree*
+//!   compromise);
+//! * its **shard**: the quadrature points under its segment of `T_Q`
+//!   leaves, and the atoms under its segment of `T_A` leaves (leaf
+//!   segments are contiguous in tree order, so each shard is a contiguous
+//!   range of the permuted point arrays).
+//!
+//! Point payloads a rank does not own are fetched on demand through a
+//! **halo exchange**: a pre-pass walks the skeleton to find which remote
+//! leaves the near-field needs, request lists travel point-to-point, and
+//! owners answer with the flattened payloads. Two halos occur per run —
+//! atom positions for the Born phase, `(position, charge, Born radius)`
+//! triples for the energy phase. Born radii themselves stay distributed:
+//! only the O(nodes × bins) charge histograms are allreduced, never the
+//! O(M) radii vector.
+//!
+//! The result is bit-for-bit the energy of the replicated runners (node-
+//! based division, same traversals), with per-rank replicated memory
+//! reduced from O(M + N) payloads to O((M + N)/P + halo) — the tests and
+//! the `data_distribution` study measure exactly that.
+
+use crate::bins::ChargeBins;
+use crate::fastmath::{ApproxMath, ExactMath, MathMode};
+use crate::gbmath::{finalize_energy, inv_f_gb, RadiiApprox, R4, R6};
+use crate::integrals::{well_separated, IntegralAcc, TRAVERSAL_UNIT};
+use crate::params::{MathKind, RadiiKind};
+use crate::runners::with_kernels;
+use crate::system::{GbResult, GbSystem};
+use crate::workdiv::leaf_segments;
+use gb_cluster::{Comm, RunReport, SimCluster};
+use gb_geom::Vec3;
+use gb_octree::{NodeId, Octree};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Runs the data-distributed algorithm on `ranks` single-threaded ranks.
+///
+/// Node-based work division only (the scheme whose leaf segments align
+/// with contiguous data shards).
+pub fn run_data_distributed(
+    sys: &GbSystem,
+    cluster: &SimCluster,
+    ranks: usize,
+) -> (GbResult, RunReport) {
+    let (mut results, report) = cluster.run(ranks, 1, |comm| {
+        with_kernels!(sys.params, M, K => rank_body::<M, K>(sys, comm))
+    });
+    (results.swap_remove(0), report)
+}
+
+/// The atom range covered by a contiguous segment of `T_A` leaves.
+fn segment_atom_range(tree: &Octree, seg: &Range<usize>) -> Range<usize> {
+    if seg.is_empty() {
+        return 0..0;
+    }
+    let leaves = tree.leaves();
+    let begin = tree.node(leaves[seg.start]).begin as usize;
+    let end = tree.node(leaves[seg.end - 1]).end as usize;
+    begin..end
+}
+
+/// One rank's owned data (real copies — the shared `GbSystem` stands in
+/// for parallel input I/O; after construction the kernels only touch the
+/// shard and the ghosts).
+struct Shard {
+    /// Owned `T_Q` leaves (ids) and the tree-position range they cover.
+    q_leaves: Vec<NodeId>,
+    q_range: Range<usize>,
+    q_pos: Vec<Vec3>,
+    q_nrm: Vec<Vec3>,
+    q_wgt: Vec<f64>,
+    /// Owned `T_A` leaves and their atom range.
+    a_leaves: Vec<NodeId>,
+    a_range: Range<usize>,
+    a_pos: Vec<Vec3>,
+    a_charge: Vec<f64>,
+    a_vdw: Vec<f64>,
+}
+
+impl Shard {
+    fn build(sys: &GbSystem, rank: usize, ranks: usize) -> Shard {
+        let q_seg = leaf_segments(&sys.tq, ranks)[rank].clone();
+        let a_seg = leaf_segments(&sys.ta, ranks)[rank].clone();
+        let q_range = segment_atom_range(&sys.tq, &q_seg);
+        let a_range = segment_atom_range(&sys.ta, &a_seg);
+        Shard {
+            q_leaves: sys.tq.leaves()[q_seg].to_vec(),
+            q_pos: sys.tq.points()[q_range.clone()].to_vec(),
+            q_nrm: sys.q_normal_tree[q_range.clone()].to_vec(),
+            q_wgt: sys.q_weight_tree[q_range.clone()].to_vec(),
+            q_range,
+            a_leaves: sys.ta.leaves()[a_seg].to_vec(),
+            a_pos: sys.ta.points()[a_range.clone()].to_vec(),
+            a_charge: sys.charge_tree[a_range.clone()].to_vec(),
+            a_vdw: sys.vdw_tree[a_range.clone()].to_vec(),
+            a_range,
+        }
+    }
+
+    /// Bytes of point payload this rank owns.
+    fn payload_bytes(&self) -> usize {
+        (self.q_pos.len() + self.q_nrm.len()) * std::mem::size_of::<Vec3>()
+            + self.q_wgt.len() * 8
+            + self.a_pos.len() * std::mem::size_of::<Vec3>()
+            + (self.a_charge.len() + self.a_vdw.len()) * 8
+    }
+}
+
+/// Which rank owns a `T_A` leaf / atom position, from the segment table.
+struct Ownership {
+    /// Atom-range starts per rank (ranges are contiguous and sorted).
+    a_starts: Vec<usize>,
+    a_ranges: Vec<Range<usize>>,
+}
+
+impl Ownership {
+    fn build(sys: &GbSystem, ranks: usize) -> Ownership {
+        let a_ranges: Vec<Range<usize>> = leaf_segments(&sys.ta, ranks)
+            .iter()
+            .map(|seg| segment_atom_range(&sys.ta, seg))
+            .collect();
+        Ownership { a_starts: a_ranges.iter().map(|r| r.start).collect(), a_ranges }
+    }
+
+    /// Owner rank of the `T_A` leaf starting at tree position `begin`.
+    fn owner_of_atom_pos(&self, begin: usize) -> usize {
+        // ranges are contiguous ascending; empty trailing ranges collapse
+        match self.a_starts.binary_search(&begin) {
+            Ok(mut i) => {
+                // walk past empty ranges that share the same start
+                while i + 1 < self.a_ranges.len() && self.a_ranges[i].is_empty() {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i.saturating_sub(1),
+        }
+    }
+}
+
+/// Halo exchange: every rank asks each owner for the leaves it needs and
+/// answers the requests it receives. `payload(leaf)` flattens one owned
+/// leaf; returns the ghost table `leaf id -> flattened payload`.
+fn halo_exchange(
+    comm: &mut Comm,
+    needed_by_owner: &[Vec<NodeId>],
+    mut payload: impl FnMut(NodeId) -> Vec<f64>,
+) -> HashMap<NodeId, Vec<f64>> {
+    let p = comm.size();
+    let me = comm.rank();
+    // 1) send request lists to every peer (empty allowed)
+    for peer in 0..p {
+        if peer != me {
+            let req: Vec<f64> = needed_by_owner[peer].iter().map(|&l| l as f64).collect();
+            comm.send_f64(peer, req);
+        }
+    }
+    // 2) receive requests, answer each with [leaf, len, data...] streams
+    let mut incoming: Vec<(usize, Vec<f64>)> = Vec::with_capacity(p.saturating_sub(1));
+    for peer in 0..p {
+        if peer != me {
+            incoming.push((peer, comm.recv_f64(peer)));
+        }
+    }
+    for (peer, req) in incoming {
+        let mut response = Vec::new();
+        for &leaf_f in &req {
+            let leaf = leaf_f as NodeId;
+            let data = payload(leaf);
+            response.push(leaf_f);
+            response.push(data.len() as f64);
+            response.extend(data);
+        }
+        comm.send_f64(peer, response);
+    }
+    // 3) receive responses and build the ghost table
+    let mut ghosts = HashMap::new();
+    for peer in 0..p {
+        if peer == me {
+            continue;
+        }
+        let resp = comm.recv_f64(peer);
+        let mut cursor = 0;
+        while cursor < resp.len() {
+            let leaf = resp[cursor] as NodeId;
+            let len = resp[cursor + 1] as usize;
+            cursor += 2;
+            ghosts.insert(leaf, resp[cursor..cursor + len].to_vec());
+            cursor += len;
+        }
+    }
+    ghosts
+}
+
+fn rank_body<M: MathMode, K: RadiiApprox>(sys: &GbSystem, comm: &mut Comm) -> GbResult {
+    let rank = comm.rank();
+    let ranks = comm.size();
+    let shard = Shard::build(sys, rank, ranks);
+    let ownership = Ownership::build(sys, ranks);
+    let threshold = sys.params.radii_mac_threshold();
+    let mac = sys.params.energy_mac_factor();
+
+    // Skeleton bytes (nodes + aggregates) are replicated; payloads are not.
+    let skeleton_bytes = (sys.ta.num_nodes() + sys.tq.num_nodes())
+        * (std::mem::size_of::<gb_octree::Node>() + std::mem::size_of::<Vec3>());
+    let svec_bytes = (sys.ta.num_nodes() + sys.num_atoms()) * 8;
+    let mut ghost_bytes = 0usize;
+    comm.record_replicated((skeleton_bytes + svec_bytes + shard.payload_bytes()) as u64);
+
+    // ---- Pre-pass: which remote T_A leaves does the Born near-field need?
+    let mut needed: Vec<Vec<NodeId>> = vec![Vec::new(); ranks];
+    let mut near_leaves_per_q: Vec<Vec<NodeId>> = Vec::with_capacity(shard.q_leaves.len());
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut work = 0.0;
+    for &q in &shard.q_leaves {
+        let qn = sys.tq.node(q);
+        let mut near = Vec::new();
+        stack.push(Octree::ROOT);
+        while let Some(a_id) = stack.pop() {
+            work += TRAVERSAL_UNIT;
+            let a = sys.ta.node(a_id);
+            let d = a.centroid.dist(qn.centroid);
+            if well_separated(d, a.radius, qn.radius, threshold) {
+                continue; // far: handled from the skeleton alone
+            }
+            if a.is_leaf() {
+                near.push(a_id);
+                let owner = ownership.owner_of_atom_pos(a.begin as usize);
+                if owner != rank {
+                    needed[owner].push(a_id);
+                }
+            } else {
+                stack.extend(a.children());
+            }
+        }
+        near_leaves_per_q.push(near);
+    }
+    for list in &mut needed {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    // ---- Halo #1: atom positions of needed remote leaves.
+    let atom_ghosts = halo_exchange(comm, &needed, |leaf| {
+        let n = sys.ta.node(leaf);
+        let mut out = Vec::with_capacity(n.count() * 3);
+        for pos in n.range() {
+            let p = shard.a_pos[pos - shard.a_range.start];
+            out.extend_from_slice(&[p.x, p.y, p.z]);
+        }
+        out
+    });
+    ghost_bytes += atom_ghosts.values().map(|v| v.len() * 8).sum::<usize>();
+
+    // ---- Born phase: far field from the skeleton, near field from shard
+    // + ghosts.
+    let mut acc = IntegralAcc::zeros(sys);
+    for (qi, &q) in shard.q_leaves.iter().enumerate() {
+        let qn = sys.tq.node(q);
+        let q_agg = sys.q_normals[q as usize];
+        // far-field contributions: walk the skeleton again, collecting at
+        // well-separated nodes (same traversal as the pre-pass)
+        stack.push(Octree::ROOT);
+        while let Some(a_id) = stack.pop() {
+            let a = sys.ta.node(a_id);
+            let d = a.centroid.dist(qn.centroid);
+            if well_separated(d, a.radius, qn.radius, threshold) {
+                let delta = qn.centroid - a.centroid;
+                acc.node_s[a_id as usize] +=
+                    q_agg.dot(delta) * K::integrand::<M>(delta.norm_sq());
+                work += 1.0;
+            } else if !a.is_leaf() {
+                stack.extend(a.children());
+            }
+        }
+        // near field: exact sums against owned or ghosted atom positions
+        let q_lo = qn.begin as usize - shard.q_range.start;
+        let q_hi = qn.end as usize - shard.q_range.start;
+        for &a_id in &near_leaves_per_q[qi] {
+            let a = sys.ta.node(a_id);
+            let owned = ownership.owner_of_atom_pos(a.begin as usize) == rank;
+            let ghost = if owned { None } else { Some(&atom_ghosts[&a_id]) };
+            for (k, pos) in a.range().enumerate() {
+                let xa = match ghost {
+                    None => shard.a_pos[pos - shard.a_range.start],
+                    Some(g) => Vec3::new(g[3 * k], g[3 * k + 1], g[3 * k + 2]),
+                };
+                let mut s = 0.0;
+                for qk in q_lo..q_hi {
+                    let delta = shard.q_pos[qk] - xa;
+                    let d2 = delta.norm_sq();
+                    if d2 > 0.0 {
+                        s += shard.q_wgt[qk] * shard.q_nrm[qk].dot(delta) * K::integrand::<M>(d2);
+                    }
+                }
+                acc.atom_s[pos] += s;
+            }
+            work += (a.count() * qn.count()) as f64;
+        }
+    }
+    comm.record_work(work);
+
+    // ---- Combine partial integrals (unavoidably O(nodes + M), as in the
+    // replicated algorithm — the memory win is in the payloads).
+    let mut flat = acc.to_flat();
+    comm.allreduce_sum(&mut flat);
+    let acc = IntegralAcc::from_flat(&flat, sys.ta.num_nodes());
+    drop(flat);
+
+    // ---- Push integrals to own atoms only: radii stay distributed.
+    let mut my_radii = vec![0.0; shard.a_range.len()];
+    let mut push_work = 0.0;
+    let mut pstack: Vec<(NodeId, f64)> = vec![(Octree::ROOT, 0.0)];
+    while let Some((id, carried)) = pstack.pop() {
+        let n = sys.ta.node(id);
+        if n.end as usize <= shard.a_range.start || n.begin as usize >= shard.a_range.end {
+            continue;
+        }
+        push_work += TRAVERSAL_UNIT;
+        let here = carried + acc.node_s[id as usize];
+        if n.is_leaf() {
+            for pos in n.range() {
+                let local = pos - shard.a_range.start;
+                my_radii[local] =
+                    K::radius(here + acc.atom_s[pos], shard.a_vdw[local], sys.born_cap);
+                push_work += 1.0;
+            }
+        } else {
+            for c in n.children() {
+                pstack.push((c, here));
+            }
+        }
+    }
+    comm.record_work(push_work);
+
+    // ---- Distributed bins: local histograms over owned atoms, allreduced.
+    // Bin geometry needs the global radius extremes — a tiny allreduce.
+    let (r_min, r_max) = {
+        let lo = my_radii.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = my_radii.iter().copied().fold(0.0f64, f64::max);
+        // min via negated max-reduction
+        let mut v = vec![-lo, hi];
+        comm.allreduce_max(&mut v);
+        (-v[0], v[1])
+    };
+    let bins = ChargeBins::compute_distributed(
+        sys,
+        &my_radii,
+        shard.a_range.clone(),
+        &shard.a_charge,
+        r_min,
+        r_max,
+        |hist| comm.allreduce_sum(hist),
+    );
+    comm.record_work(shard.a_range.len() as f64 * 0.5);
+
+    // ---- Pre-pass #2: remote T_A leaves the energy near-field needs.
+    let mut needed: Vec<Vec<NodeId>> = vec![Vec::new(); ranks];
+    let mut near_u_per_v: Vec<Vec<NodeId>> = Vec::with_capacity(shard.a_leaves.len());
+    let mut e_work = 0.0;
+    for &v in &shard.a_leaves {
+        let vn = sys.ta.node(v);
+        let mut near = Vec::new();
+        stack.push(Octree::ROOT);
+        while let Some(u_id) = stack.pop() {
+            e_work += TRAVERSAL_UNIT;
+            let u = sys.ta.node(u_id);
+            if u.is_leaf() {
+                near.push(u_id);
+                let owner = ownership.owner_of_atom_pos(u.begin as usize);
+                if owner != rank {
+                    needed[owner].push(u_id);
+                }
+            } else {
+                let d = u.centroid.dist(vn.centroid);
+                if d > (u.radius + vn.radius) * mac {
+                    continue; // far: histogram contraction, skeleton only
+                }
+                stack.extend(u.children());
+            }
+        }
+        near_u_per_v.push(near);
+    }
+    for list in &mut needed {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    // ---- Halo #2: (position, charge, radius) of needed remote leaves.
+    let energy_ghosts = halo_exchange(comm, &needed, |leaf| {
+        let n = sys.ta.node(leaf);
+        let mut out = Vec::with_capacity(n.count() * 5);
+        for pos in n.range() {
+            let local = pos - shard.a_range.start;
+            let p = shard.a_pos[local];
+            out.extend_from_slice(&[p.x, p.y, p.z, shard.a_charge[local], my_radii[local]]);
+        }
+        out
+    });
+    ghost_bytes += energy_ghosts.values().map(|v| v.len() * 8).sum::<usize>();
+    comm.record_replicated(
+        (skeleton_bytes + svec_bytes + shard.payload_bytes() + ghost_bytes) as u64,
+    );
+
+    // ---- Energy phase.
+    let mut raw = 0.0;
+    for (vi, &v) in shard.a_leaves.iter().enumerate() {
+        let vn = sys.ta.node(v);
+        let v_hist = bins.node_hist(v);
+        // far field: histogram contraction over well-separated skeleton nodes
+        stack.push(Octree::ROOT);
+        while let Some(u_id) = stack.pop() {
+            let u = sys.ta.node(u_id);
+            if u.is_leaf() {
+                continue; // near leaves handled below
+            }
+            let d = u.centroid.dist(vn.centroid);
+            if d > (u.radius + vn.radius) * mac {
+                let u_hist = bins.node_hist(u_id);
+                let d_sq = d * d;
+                for (i, &qu) in u_hist.iter().enumerate() {
+                    if qu == 0.0 {
+                        continue;
+                    }
+                    for (j, &qv) in v_hist.iter().enumerate() {
+                        if qv == 0.0 {
+                            continue;
+                        }
+                        raw += qu
+                            * qv
+                            * inv_f_gb::<M>(d_sq, bins.bin_radius[i] * bins.bin_radius[j]);
+                        e_work += 1.0;
+                    }
+                }
+            } else {
+                stack.extend(u.children());
+            }
+        }
+        // near field: exact pairs, U atoms owned or ghosted
+        for &u_id in &near_u_per_v[vi] {
+            let u = sys.ta.node(u_id);
+            let owned = ownership.owner_of_atom_pos(u.begin as usize) == rank;
+            for (k, _pos) in u.range().enumerate() {
+                let (xu, qu, ru) = if owned {
+                    let local = u.begin as usize + k - shard.a_range.start;
+                    (shard.a_pos[local], shard.a_charge[local], my_radii[local])
+                } else {
+                    let g = &energy_ghosts[&u_id];
+                    (
+                        Vec3::new(g[5 * k], g[5 * k + 1], g[5 * k + 2]),
+                        g[5 * k + 3],
+                        g[5 * k + 4],
+                    )
+                };
+                let mut row = 0.0;
+                for vpos in vn.range() {
+                    let local = vpos - shard.a_range.start;
+                    let r_sq = xu.dist_sq(shard.a_pos[local]);
+                    row += shard.a_charge[local]
+                        * inv_f_gb::<M>(r_sq, ru * my_radii[local]);
+                }
+                raw += qu * row;
+            }
+            e_work += (u.count() * vn.count()) as f64;
+        }
+    }
+    comm.record_work(e_work);
+
+    // ---- Combine energies; gather radii only to assemble the caller's
+    // result (output collection, not part of the algorithm's working set).
+    let mut total = vec![raw];
+    comm.allreduce_sum(&mut total);
+    let energy_kcal = finalize_energy(total[0], sys.params.tau());
+    let radii_tree = comm.allgatherv(&my_radii);
+    GbResult { energy_kcal, born_radii: sys.radii_to_original(&radii_tree) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GbParams;
+    use crate::runners::serial::run_serial;
+    use gb_molecule::{synthesize_protein, SyntheticParams};
+
+    fn system(n: usize) -> GbSystem {
+        let mol = synthesize_protein(&SyntheticParams::with_atoms(n, 88));
+        GbSystem::prepare(mol, GbParams::default())
+    }
+
+    #[test]
+    fn matches_serial_energy_and_radii() {
+        let sys = system(500);
+        let serial = run_serial(&sys);
+        for ranks in [1usize, 2, 4, 7] {
+            let (res, _) = run_data_distributed(&sys, &SimCluster::single_node(), ranks);
+            assert!(
+                (res.energy_kcal - serial.result.energy_kcal).abs()
+                    < 1e-9 * serial.result.energy_kcal.abs(),
+                "ranks={ranks}: {} vs {}",
+                res.energy_kcal,
+                serial.result.energy_kcal
+            );
+            for (a, b) in res.born_radii.iter().zip(&serial.result.born_radii) {
+                assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "ranks={ranks}");
+            }
+        }
+    }
+
+    /// An extended rod-shaped molecule: spatial shards have *local* halos,
+    /// so data distribution pays off (on a small globule the ~40 Å exact
+    /// zone covers everything and every rank ghosts most of the molecule —
+    /// which the run handles correctly but without memory savings).
+    fn rod_system(n: usize) -> GbSystem {
+        use gb_geom::DetRng;
+        use gb_molecule::{Atom, Element, Molecule};
+        let mut rng = DetRng::new(123);
+        let atoms = (0..n).map(|i| {
+            let x = i as f64 * 0.7;
+            let pos = Vec3::new(
+                x,
+                rng.f64_in(-4.0, 4.0),
+                rng.f64_in(-4.0, 4.0),
+            );
+            Atom::new(pos, rng.f64_in(1.2, 1.9), rng.f64_in(-0.5, 0.5), Element::Carbon)
+        });
+        GbSystem::prepare(Molecule::from_atoms("rod", atoms), GbParams::default())
+    }
+
+    #[test]
+    fn per_rank_payload_shrinks_with_ranks_on_extended_molecules() {
+        let sys = rod_system(3_000);
+        let cluster = SimCluster::single_node();
+        let max_replicated = |ranks: usize| {
+            let (_, report) = run_data_distributed(&sys, &cluster, ranks);
+            report.ledgers.iter().map(|l| l.replicated_bytes).max().unwrap()
+        };
+        let one = max_replicated(1);
+        let eight = max_replicated(8);
+        assert!(
+            (eight as f64) < 0.75 * one as f64,
+            "per-rank bytes should shrink: {one} -> {eight}"
+        );
+        // and the rod still computes the same physics
+        let serial = run_serial(&sys);
+        let (res, _) = run_data_distributed(&sys, &cluster, 8);
+        assert!(
+            (res.energy_kcal - serial.result.energy_kcal).abs()
+                < 1e-9 * serial.result.energy_kcal.abs()
+        );
+    }
+
+    #[test]
+    fn uses_less_memory_than_replicated_runner() {
+        let sys = system(1_200);
+        let cluster = SimCluster::single_node();
+        let (_, data_report) = run_data_distributed(&sys, &cluster, 8);
+        let (_, repl_report) = crate::runners::distributed::run_distributed(
+            &sys,
+            &cluster,
+            8,
+            crate::workdiv::WorkDivision::NodeNode,
+        );
+        let data_bytes = data_report.total_replicated_bytes();
+        let repl_bytes = repl_report.total_replicated_bytes();
+        assert!(
+            (data_bytes as f64) < 0.7 * repl_bytes as f64,
+            "data-distributed {data_bytes} vs replicated {repl_bytes}"
+        );
+    }
+
+    #[test]
+    fn halo_traffic_is_recorded() {
+        let sys = system(600);
+        let (_, report) = run_data_distributed(&sys, &SimCluster::single_node(), 4);
+        // p2p halo messages show up in bytes_moved beyond the collectives
+        assert!(report.ledgers.iter().any(|l| l.comm_ops > 4));
+    }
+
+    #[test]
+    fn works_with_r4_and_fast_math() {
+        let mol = synthesize_protein(&SyntheticParams::with_atoms(300, 89));
+        let params = GbParams::default()
+            .with_radii_kind(crate::params::RadiiKind::R4)
+            .with_math(MathKind::Approximate);
+        let sys = GbSystem::prepare(mol, params);
+        let serial = run_serial(&sys);
+        let (res, _) = run_data_distributed(&sys, &SimCluster::single_node(), 3);
+        assert!(
+            (res.energy_kcal - serial.result.energy_kcal).abs()
+                < 1e-9 * serial.result.energy_kcal.abs()
+        );
+    }
+}

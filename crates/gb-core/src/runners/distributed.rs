@@ -1,0 +1,310 @@
+//! The distributed-memory runner — the `OCT_MPI` analog: the paper's
+//! 7-step algorithm (Fig. 4) on the simulated cluster.
+//!
+//! Per rank:
+//! 1. hold a replicated copy of the system (octrees, surface, molecule) —
+//!    accounted via `record_replicated`;
+//! 2. `APPROX-INTEGRALS` for this rank's segment of `T_Q` leaves
+//!    (node-based division) or atoms (atom-based);
+//! 3. `MPI_Allreduce` of the partial integral vector;
+//! 4. `PUSH-INTEGRALS-TO-ATOMS` for this rank's atom segment;
+//! 5. allgather of the Born radii;
+//! 6. `APPROX-EPOL` for this rank's segment of `T_A` leaves;
+//! 7. reduce of the partial energies to the master.
+
+use crate::energy::energy_for_leaves;
+use crate::fastmath::{ApproxMath, ExactMath, MathMode};
+use crate::gbmath::{finalize_energy, RadiiApprox, R4, R6};
+use crate::integrals::{accumulate_qleaf, push_integrals_to_atoms, IntegralAcc};
+use crate::params::{MathKind, RadiiKind};
+use crate::runners::{bin_build_work, bins_for, with_kernels};
+use crate::system::{GbResult, GbSystem};
+use crate::workdiv::{atom_segments, leaf_segments, WorkDivision};
+use gb_cluster::{Comm, RunReport, SimCluster};
+
+/// Runs the 7-step distributed algorithm on `ranks` single-threaded ranks.
+///
+/// Returns the master's result and the cluster accounting report. The
+/// energy is identical on every rank (deterministic rank-order reduction),
+/// and — for node-based division — identical to the serial runner's.
+pub fn run_distributed(
+    sys: &GbSystem,
+    cluster: &SimCluster,
+    ranks: usize,
+    division: WorkDivision,
+) -> (GbResult, RunReport) {
+    let (mut results, report) =
+        cluster.run(ranks, 1, |comm| rank_body_dispatch(sys, comm, division));
+    (results.swap_remove(0), report)
+}
+
+fn rank_body_dispatch(sys: &GbSystem, comm: &mut Comm, division: WorkDivision) -> GbResult {
+    with_kernels!(sys.params, M, K => rank_body::<M, K>(sys, comm, division))
+}
+
+/// The rank program, generic over the math mode; also reused by the hybrid
+/// runner for its per-thread segments.
+pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
+    sys: &GbSystem,
+    comm: &mut Comm,
+    division: WorkDivision,
+) -> GbResult {
+    let rank = comm.rank();
+    let p = comm.size();
+
+    // Step 1: replicated data (shared read-only here; a real MPI process
+    // would hold its own copy — the accounting reflects that).
+    comm.record_replicated(sys.memory_bytes() as u64);
+
+    // Step 2: partial integrals for this rank's share.
+    let mut acc = IntegralAcc::zeros(sys);
+    let mut stack = Vec::new();
+    let mut work = 0.0;
+    match division {
+        WorkDivision::NodeNode => {
+            let seg = leaf_segments(&sys.tq, p).swap_remove(rank);
+            for &q in &sys.tq.leaves()[seg] {
+                work += accumulate_qleaf::<M, K>(sys, q, &mut acc, &mut stack);
+            }
+        }
+        WorkDivision::AtomNode => {
+            // Atom-based division: every rank processes *all* T_Q leaves but
+            // clips the T_A traversal to its atom range (see
+            // `accumulate_qleaf_clipped`): far-field terms are only taken at
+            // nodes wholly inside the range, so range boundaries change the
+            // approximation pattern — the P-dependent-error effect the paper
+            // reports for atom-based division.
+            let range = atom_segments(sys.num_atoms(), p).swap_remove(rank);
+            for &q in sys.tq.leaves() {
+                work += accumulate_qleaf_clipped::<M, K>(sys, q, range.clone(), &mut acc, &mut stack);
+            }
+        }
+    }
+    comm.record_work(work);
+
+    // Step 3: combine partial integrals.
+    let mut flat = acc.to_flat();
+    comm.allreduce_sum(&mut flat);
+    let acc = IntegralAcc::from_flat(&flat, sys.ta.num_nodes());
+    drop(flat);
+
+    // Step 4: Born radii for this rank's atom segment.
+    let my_atoms = atom_segments(sys.num_atoms(), p).swap_remove(rank);
+    let mut radii_tree = vec![0.0; sys.num_atoms()];
+    let w = push_integrals_to_atoms::<K>(sys, &acc, my_atoms.clone(), &mut radii_tree);
+    comm.record_work(w);
+
+    // Step 5: allgather radii (variable-length segments, rank order ==
+    // atom-segment order, so concatenation is the full tree-order vector).
+    let radii_tree = {
+        let local = &radii_tree[my_atoms];
+        let gathered = comm.allgatherv(local);
+        debug_assert_eq!(gathered.len(), sys.num_atoms());
+        gathered
+    };
+
+    // Step 6: partial energy for this rank's T_A leaf segment. Bins are
+    // recomputed locally from the (replicated) radii instead of being
+    // communicated.
+    let bins = bins_for(sys, &radii_tree);
+    comm.record_work(bin_build_work(sys));
+    let (raw, w) = match division {
+        WorkDivision::NodeNode => {
+            let seg = leaf_segments(&sys.ta, p).swap_remove(rank);
+            energy_for_leaves::<M>(sys, &bins, &radii_tree, &sys.ta.leaves()[seg])
+        }
+        WorkDivision::AtomNode => {
+            let range = atom_segments(sys.num_atoms(), p).swap_remove(rank);
+            // leaves whose point range intersects this rank's atom range,
+            // clipped at the leaf level (a leaf straddling the boundary is
+            // processed by the lower rank)
+            let leaves: Vec<_> = sys
+                .ta
+                .leaves()
+                .iter()
+                .copied()
+                .filter(|&l| {
+                    let n = sys.ta.node(l);
+                    (n.begin as usize) >= range.start && (n.begin as usize) < range.end
+                })
+                .collect();
+            energy_for_leaves::<M>(sys, &bins, &radii_tree, &leaves)
+        }
+    };
+    comm.record_work(w);
+
+    // Step 7: master accumulates partial energies; broadcast back so every
+    // rank returns the same result (convenient for callers and tests).
+    let mut total = vec![raw];
+    comm.allreduce_sum(&mut total);
+    let energy_kcal = finalize_energy(total[0], sys.params.tau());
+
+    GbResult { energy_kcal, born_radii: sys.radii_to_original(&radii_tree) }
+}
+
+/// Q-leaf traversal clipped to an atom range (atom-based division): only
+/// nodes wholly inside the range may take far-field terms; leaves are
+/// clipped per atom.
+pub(crate) fn accumulate_qleaf_clipped<M: MathMode, K: RadiiApprox>(
+    sys: &GbSystem,
+    q_leaf: gb_octree::NodeId,
+    range: std::ops::Range<usize>,
+    acc: &mut IntegralAcc,
+    stack: &mut Vec<gb_octree::NodeId>,
+) -> f64 {
+    use crate::integrals::{well_separated, TRAVERSAL_UNIT};
+    let tq = &sys.tq;
+    let ta = &sys.ta;
+    let threshold = sys.params.radii_mac_threshold();
+    let qn = tq.node(q_leaf);
+    let q_center = qn.centroid;
+    let q_radius = qn.radius;
+    let q_agg = sys.q_normals[q_leaf as usize];
+    let mut work = 0.0;
+
+    debug_assert!(stack.is_empty());
+    stack.push(gb_octree::Octree::ROOT);
+    while let Some(a_id) = stack.pop() {
+        let a = ta.node(a_id);
+        // skip nodes disjoint from the atom range
+        if a.end as usize <= range.start || a.begin as usize >= range.end {
+            continue;
+        }
+        work += TRAVERSAL_UNIT;
+        let fully_inside =
+            a.begin as usize >= range.start && a.end as usize <= range.end;
+        let d = a.centroid.dist(q_center);
+        if fully_inside && well_separated(d, a.radius, q_radius, threshold) {
+            let delta = q_center - a.centroid;
+            let d2 = delta.norm_sq();
+            acc.node_s[a_id as usize] += q_agg.dot(delta) * K::integrand::<M>(d2);
+            work += 1.0;
+        } else if a.is_leaf() {
+            let q_range = qn.range();
+            let q_pos = &tq.points()[q_range.clone()];
+            let q_nrm = &sys.q_normal_tree[q_range.clone()];
+            let q_wgt = &sys.q_weight_tree[q_range];
+            let lo = (a.begin as usize).max(range.start);
+            let hi = (a.end as usize).min(range.end);
+            for ai in lo..hi {
+                let xa = ta.points()[ai];
+                let mut s = 0.0;
+                for ((&pq, &nq), &wq) in q_pos.iter().zip(q_nrm).zip(q_wgt) {
+                    let delta = pq - xa;
+                    let d2 = delta.norm_sq();
+                    if d2 > 0.0 {
+                        s += wq * nq.dot(delta) * K::integrand::<M>(d2);
+                    }
+                }
+                acc.atom_s[ai] += s;
+            }
+            work += ((hi - lo) * qn.count()) as f64;
+        } else {
+            stack.extend(a.children());
+        }
+    }
+    work
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GbParams;
+    use crate::runners::serial::run_serial;
+    use gb_molecule::{synthesize_protein, SyntheticParams};
+
+    fn sys(n: usize) -> GbSystem {
+        let mol = synthesize_protein(&SyntheticParams::with_atoms(n, 55));
+        GbSystem::prepare(mol, GbParams::default())
+    }
+
+    #[test]
+    fn single_rank_equals_serial() {
+        let s = sys(400);
+        let serial = run_serial(&s);
+        let (dist, _) =
+            run_distributed(&s, &SimCluster::single_node(), 1, WorkDivision::NodeNode);
+        assert_eq!(serial.result.energy_kcal, dist.energy_kcal);
+        assert_eq!(serial.result.born_radii, dist.born_radii);
+    }
+
+    #[test]
+    fn node_division_energy_independent_of_rank_count() {
+        // the paper's key property: node-based division always processes
+        // whole tree nodes, so the approximation — and hence the energy —
+        // does not depend on P.
+        let s = sys(500);
+        let cluster = SimCluster::single_node();
+        let baseline = run_distributed(&s, &cluster, 1, WorkDivision::NodeNode).0.energy_kcal;
+        for p in [2usize, 3, 5, 8, 12] {
+            let (r, _) = run_distributed(&s, &cluster, p, WorkDivision::NodeNode);
+            assert!(
+                (r.energy_kcal - baseline).abs() < 1e-9 * baseline.abs(),
+                "P={p}: {} vs {baseline}",
+                r.energy_kcal
+            );
+        }
+    }
+
+    #[test]
+    fn atom_division_energy_varies_with_rank_count() {
+        // ... while atom-based division splits tree nodes differently for
+        // different P, so the energy wobbles (paper §IV).
+        let s = sys(900);
+        let cluster = SimCluster::single_node();
+        let energies: Vec<f64> = [1usize, 3, 5, 9]
+            .iter()
+            .map(|&p| run_distributed(&s, &cluster, p, WorkDivision::AtomNode).0.energy_kcal)
+            .collect();
+        let spread = (energies
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            - energies.iter().copied().fold(f64::INFINITY, f64::min))
+            / energies[0].abs();
+        assert!(spread > 1e-12, "atom-based energies did not vary: {energies:?}");
+        // ... but stays a sane approximation
+        let serial = run_serial(&s).result.energy_kcal;
+        for e in &energies {
+            assert!(((e - serial) / serial).abs() < 0.05, "{e} vs serial {serial}");
+        }
+    }
+
+    #[test]
+    fn radii_identical_across_rank_counts_node_division() {
+        let s = sys(300);
+        let cluster = SimCluster::single_node();
+        let base = run_distributed(&s, &cluster, 1, WorkDivision::NodeNode).0.born_radii;
+        let many = run_distributed(&s, &cluster, 6, WorkDivision::NodeNode).0.born_radii;
+        // identical traversals; only the summation grouping differs (rank
+        // partials reduced in rank order), so agreement is to round-off
+        for (a, b) in base.iter().zip(&many) {
+            assert!((a - b).abs() < 1e-12 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn work_is_distributed() {
+        let s = sys(600);
+        let (_, report) =
+            run_distributed(&s, &SimCluster::single_node(), 4, WorkDivision::NodeNode);
+        // every rank did nonzero work, and no rank did everything
+        let total: f64 = report.ledgers.iter().map(|l| l.work_units).sum();
+        for l in &report.ledgers {
+            assert!(l.work_units > 0.0);
+            assert!(l.work_units < 0.9 * total);
+        }
+        // load imbalance should be moderate for leaf-count division
+        assert!(report.imbalance() < 3.0, "imbalance {}", report.imbalance());
+    }
+
+    #[test]
+    fn replicated_memory_scales_with_ranks() {
+        let s = sys(300);
+        let cluster = SimCluster::single_node();
+        let (_, r1) = run_distributed(&s, &cluster, 1, WorkDivision::NodeNode);
+        let (_, r12) = run_distributed(&s, &cluster, 12, WorkDivision::NodeNode);
+        let ratio = r12.total_replicated_bytes() as f64 / r1.total_replicated_bytes() as f64;
+        assert!((ratio - 12.0).abs() < 0.5, "replication ratio {ratio}");
+    }
+}

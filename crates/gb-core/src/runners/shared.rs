@@ -1,0 +1,160 @@
+//! The shared-memory runner — the `OCT_CILK` analog, with rayon standing in
+//! for the cilk++ work-stealing scheduler.
+//!
+//! Parallel structure:
+//! * **Born phase**: the `T_Q` leaf list is cut into `K` contiguous chunks
+//!   (`K ≈ 4 ×` worker count); chunks run in parallel, each into its own
+//!   accumulator, and partials are merged *in chunk order* so the result is
+//!   bitwise deterministic regardless of scheduling.
+//! * **Energy phase**: embarrassingly parallel over `T_A` leaves; per-leaf
+//!   raw sums are collected into a vector and reduced in leaf order
+//!   (deterministic again).
+
+use crate::energy::energy_for_leaf;
+use crate::fastmath::{ApproxMath, ExactMath};
+use crate::gbmath::{finalize_energy, R4, R6};
+use crate::integrals::{accumulate_qleaf, push_integrals_to_atoms, IntegralAcc};
+use crate::params::{MathKind, RadiiKind};
+use crate::runners::serial::SerialOutput;
+use crate::runners::{bins_for, with_kernels};
+use crate::system::{GbResult, GbSystem};
+use crate::workdiv::even_ranges;
+use rayon::prelude::*;
+
+/// Runs the shared-memory (rayon) octree pipeline.
+///
+/// Produces exactly the same energy and radii as
+/// [`run_serial`](crate::runners::serial::run_serial) — partial sums merge
+/// in a fixed order.
+pub fn run_shared(sys: &GbSystem) -> SerialOutput {
+    with_kernels!(sys.params, M, K => {
+        let threads = rayon::current_num_threads().max(1);
+        let chunks = (threads * 4).clamp(1, sys.tq.num_leaves().max(1));
+
+        // Born phase: chunked over T_Q leaves.
+        let ranges = even_ranges(sys.tq.num_leaves(), chunks);
+        let partials: Vec<(IntegralAcc, f64)> = ranges
+            .into_par_iter()
+            .map(|range| {
+                let mut acc = IntegralAcc::zeros(sys);
+                let mut stack = Vec::new();
+                let mut work = 0.0;
+                for &q in &sys.tq.leaves()[range] {
+                    work += accumulate_qleaf::<M, K>(sys, q, &mut acc, &mut stack);
+                }
+                (acc, work)
+            })
+            .collect();
+        let mut acc = IntegralAcc::zeros(sys);
+        let mut born_work = 0.0;
+        for (p, w) in &partials {
+            acc.add(p);
+            born_work += w;
+        }
+        drop(partials);
+
+        // Push phase: parallel over atom ranges (disjoint output slices
+        // would be nicer, but the radii vector is written once per atom, so
+        // chunked ranges with local buffers merged in order keeps it simple
+        // and deterministic).
+        let atom_ranges = even_ranges(sys.num_atoms(), chunks);
+        let radii_parts: Vec<(std::ops::Range<usize>, Vec<f64>, f64)> = atom_ranges
+            .into_par_iter()
+            .map(|range| {
+                let mut radii_tree = vec![0.0; sys.num_atoms()];
+                let w = push_integrals_to_atoms::<K>(sys, &acc, range.clone(), &mut radii_tree);
+                (range.clone(), radii_tree[range].to_vec(), w)
+            })
+            .collect();
+        let mut radii_tree = vec![0.0; sys.num_atoms()];
+        for (range, values, w) in radii_parts {
+            born_work += w;
+            radii_tree[range].copy_from_slice(&values);
+        }
+
+        // Energy phase: parallel over T_A leaves, ordered reduction.
+        let bins = bins_for(sys, &radii_tree);
+        let per_leaf: Vec<(f64, f64)> = sys
+            .ta
+            .leaves()
+            .par_iter()
+            .map_init(Vec::new, |stack, &v| {
+                energy_for_leaf::<M>(sys, &bins, &radii_tree, v, stack)
+            })
+            .collect();
+        let mut raw = 0.0;
+        let mut energy_work = 0.0;
+        for (r, w) in per_leaf {
+            raw += r;
+            energy_work += w;
+        }
+        let energy_kcal = finalize_energy(raw, sys.params.tau());
+
+        SerialOutput {
+            result: GbResult { energy_kcal, born_radii: sys.radii_to_original(&radii_tree) },
+            born_work,
+            energy_work,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GbParams;
+    use crate::runners::serial::run_serial;
+    use gb_molecule::{synthesize_protein, SyntheticParams};
+
+    fn sys(n: usize) -> GbSystem {
+        let mol = synthesize_protein(&SyntheticParams::with_atoms(n, 44));
+        GbSystem::prepare(mol, GbParams::default())
+    }
+
+    #[test]
+    fn shared_equals_serial_to_roundoff() {
+        // same traversals, same leaf order; only the chunk-merge grouping
+        // of floating-point sums differs from the serial accumulation
+        let s = sys(600);
+        let serial = run_serial(&s);
+        let shared = run_shared(&s);
+        assert!(
+            (serial.result.energy_kcal - shared.result.energy_kcal).abs()
+                < 1e-12 * serial.result.energy_kcal.abs()
+        );
+        for (a, b) in serial.result.born_radii.iter().zip(&shared.result.born_radii) {
+            assert!((a - b).abs() < 1e-12 * a.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn shared_work_accounting_matches_serial() {
+        let s = sys(400);
+        let serial = run_serial(&s);
+        let shared = run_shared(&s);
+        // identical interaction work; the chunked push re-walks a few nodes
+        // near range boundaries, so allow a small traversal-unit slack
+        let rel = (serial.born_work - shared.born_work).abs() / serial.born_work;
+        assert!(rel < 0.05, "born work diverged by {rel}");
+        assert!((serial.energy_work - shared.energy_work).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shared_with_approx_math_equals_serial_approx() {
+        let mut s = sys(300);
+        s.params.math = MathKind::Approximate;
+        let serial = run_serial(&s);
+        let shared = run_shared(&s);
+        assert!(
+            (serial.result.energy_kcal - shared.result.energy_kcal).abs()
+                < 1e-12 * serial.result.energy_kcal.abs()
+        );
+    }
+
+    #[test]
+    fn tiny_molecule_does_not_panic() {
+        let s = sys(5);
+        let out = run_shared(&s);
+        assert!(out.result.energy_kcal.is_finite());
+        assert_eq!(out.result.born_radii.len(), 5);
+    }
+}

@@ -1,0 +1,229 @@
+//! [`GbSystem`]: the prepared state every runner consumes.
+//!
+//! Preparation = sample the molecular surface, build the two octrees
+//! (`T_A` over atoms, `T_Q` over quadrature points) and precompute the
+//! per-`T_Q`-node pseudo-quadrature-point aggregates
+//! `ñ_Q = Σ_{q∈Q} w_q n_q` that the far-field Born integral needs. The
+//! paper treats all of this as reusable preprocessing (§IV-C Step 1): the
+//! same trees serve every ε, every runner, and — via rigid transforms —
+//! every docking pose.
+
+use crate::params::GbParams;
+use gb_geom::Vec3;
+use gb_molecule::Molecule;
+use gb_octree::Octree;
+use gb_surface::{sample_surface, QuadraturePoints};
+
+/// Prepared system state: molecule, surface, both octrees, aggregates.
+#[derive(Clone, Debug)]
+pub struct GbSystem {
+    /// The input molecule.
+    pub molecule: Molecule,
+    /// Surface quadrature set `Q`.
+    pub surface: QuadraturePoints,
+    /// Octree over atom centers (`T_A`).
+    pub ta: Octree,
+    /// Octree over quadrature points (`T_Q`).
+    pub tq: Octree,
+    /// Parameters the system was prepared with.
+    pub params: GbParams,
+    /// Per-`T_Q`-node `Σ w_q n_q` (pseudo-quadrature-point normals).
+    pub q_normals: Vec<Vec3>,
+    /// Quadrature normals permuted to `T_Q` tree order.
+    pub q_normal_tree: Vec<Vec3>,
+    /// Quadrature weights permuted to `T_Q` tree order.
+    pub q_weight_tree: Vec<f64>,
+    /// Atom charges permuted to `T_A` tree order.
+    pub charge_tree: Vec<f64>,
+    /// Atom vdW radii permuted to `T_A` tree order.
+    pub vdw_tree: Vec<f64>,
+    /// Born-radius cap used when an integral degenerates (Å).
+    pub born_cap: f64,
+}
+
+/// Output of a full GB evaluation.
+#[derive(Clone, Debug)]
+pub struct GbResult {
+    /// Polarization energy in kcal/mol.
+    pub energy_kcal: f64,
+    /// Born radii by *original* atom index (Å).
+    pub born_radii: Vec<f64>,
+}
+
+impl GbSystem {
+    /// Prepares a system: samples the surface and builds both octrees.
+    pub fn prepare(molecule: Molecule, params: GbParams) -> GbSystem {
+        let surface = sample_surface(&molecule, &params.surface);
+        Self::prepare_with_surface(molecule, surface, params)
+    }
+
+    /// Prepares a system from an existing quadrature set (used when the
+    /// surface comes from a file or a transformed pose).
+    pub fn prepare_with_surface(
+        molecule: Molecule,
+        surface: QuadraturePoints,
+        params: GbParams,
+    ) -> GbSystem {
+        let ta = Octree::build(molecule.positions(), params.leaf_cap);
+        let tq = Octree::build(surface.positions(), params.leaf_cap);
+
+        // Permute per-point attributes into tree order once; every kernel
+        // then walks contiguous memory.
+        let q_normal_tree: Vec<Vec3> =
+            (0..tq.num_points()).map(|i| surface.normals()[tq.point_index(i)]).collect();
+        let q_weight_tree: Vec<f64> =
+            (0..tq.num_points()).map(|i| surface.weights()[tq.point_index(i)]).collect();
+        let charge_tree: Vec<f64> =
+            (0..ta.num_points()).map(|i| molecule.charges()[ta.point_index(i)]).collect();
+        let vdw_tree: Vec<f64> =
+            (0..ta.num_points()).map(|i| molecule.radii()[ta.point_index(i)]).collect();
+
+        // ñ_Q per node: bottom-up aggregate of w_q n_q.
+        let q_normals = {
+            #[derive(Clone, Default)]
+            struct Acc(Vec3);
+            tq.aggregate(
+                |range| {
+                    let mut s = Vec3::ZERO;
+                    for i in range {
+                        s += q_normal_tree[i] * q_weight_tree[i];
+                    }
+                    Acc(s)
+                },
+                |a, b| a.0 += b.0,
+            )
+            .into_iter()
+            .map(|a| a.0)
+            .collect()
+        };
+
+        // Born radii may never exceed the system scale by much; cap at 100×
+        // the bounding-sphere diameter (effectively "no solvent screening").
+        let born_cap = 200.0 * ta.bbox().circumradius().max(1.0);
+
+        GbSystem {
+            molecule,
+            surface,
+            ta,
+            tq,
+            params,
+            q_normals,
+            q_normal_tree,
+            q_weight_tree,
+            charge_tree,
+            vdw_tree,
+            born_cap,
+        }
+    }
+
+    /// Number of atoms `M`.
+    #[inline]
+    pub fn num_atoms(&self) -> usize {
+        self.molecule.len()
+    }
+
+    /// Number of quadrature points `N`.
+    #[inline]
+    pub fn num_qpoints(&self) -> usize {
+        self.surface.len()
+    }
+
+    /// Maps Born radii from `T_A` tree order back to original atom order.
+    pub fn radii_to_original(&self, radii_tree: &[f64]) -> Vec<f64> {
+        assert_eq!(radii_tree.len(), self.num_atoms());
+        let mut out = vec![0.0; radii_tree.len()];
+        for (pos, &r) in radii_tree.iter().enumerate() {
+            out[self.ta.point_index(pos)] = r;
+        }
+        out
+    }
+
+    /// Maps per-atom values from original order into `T_A` tree order.
+    pub fn to_tree_order(&self, original: &[f64]) -> Vec<f64> {
+        assert_eq!(original.len(), self.num_atoms());
+        (0..self.num_atoms()).map(|pos| original[self.ta.point_index(pos)]).collect()
+    }
+
+    /// Replicated memory footprint of one rank's copy of the system, in
+    /// bytes — what a real MPI process would hold (the paper's §V-B
+    /// 8.2 GB-vs-1.4 GB accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.molecule.memory_bytes()
+            + self.surface.memory_bytes()
+            + self.ta.memory_bytes()
+            + self.tq.memory_bytes()
+            + self.q_normals.capacity() * std::mem::size_of::<Vec3>()
+            + self.q_normal_tree.capacity() * std::mem::size_of::<Vec3>()
+            + (self.q_weight_tree.capacity()
+                + self.charge_tree.capacity()
+                + self.vdw_tree.capacity())
+                * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_molecule::{synthesize_protein, SyntheticParams};
+
+    fn small_system() -> GbSystem {
+        let mol = synthesize_protein(&SyntheticParams::with_atoms(300, 4));
+        GbSystem::prepare(mol, GbParams::default())
+    }
+
+    #[test]
+    fn preparation_builds_consistent_trees() {
+        let sys = small_system();
+        assert_eq!(sys.ta.num_points(), sys.num_atoms());
+        assert_eq!(sys.tq.num_points(), sys.num_qpoints());
+        assert!(sys.num_qpoints() > 0);
+        sys.ta.validate().unwrap();
+        sys.tq.validate().unwrap();
+        assert_eq!(sys.q_normals.len(), sys.tq.num_nodes());
+        assert_eq!(sys.charge_tree.len(), sys.num_atoms());
+    }
+
+    #[test]
+    fn root_aggregate_is_total_weighted_normal() {
+        let sys = small_system();
+        let mut total = Vec3::ZERO;
+        for k in 0..sys.surface.len() {
+            total += sys.surface.normals()[k] * sys.surface.weights()[k];
+        }
+        let root = sys.q_normals[0];
+        assert!((total - root).norm() < 1e-6 * total.norm().max(1.0));
+    }
+
+    #[test]
+    fn closed_surface_normals_nearly_cancel() {
+        // ∮ n dS = 0 over a closed surface; the aggregate at the root should
+        // be tiny relative to the total area.
+        let sys = small_system();
+        let area = sys.surface.total_area();
+        assert!(sys.q_normals[0].norm() < 0.05 * area, "surface normals do not cancel");
+    }
+
+    #[test]
+    fn permutation_roundtrip() {
+        let sys = small_system();
+        let original: Vec<f64> = (0..sys.num_atoms()).map(|i| i as f64).collect();
+        let tree = sys.to_tree_order(&original);
+        let back = sys.radii_to_original(&tree);
+        assert_eq!(back, original);
+        // charge_tree really is the permuted charges
+        for pos in 0..sys.num_atoms() {
+            assert_eq!(sys.charge_tree[pos], sys.molecule.charges()[sys.ta.point_index(pos)]);
+        }
+    }
+
+    #[test]
+    fn memory_accounting_positive_and_scaling() {
+        let small = small_system();
+        let big = GbSystem::prepare(
+            synthesize_protein(&SyntheticParams::with_atoms(2_000, 4)),
+            GbParams::default(),
+        );
+        assert!(small.memory_bytes() > 0);
+        assert!(big.memory_bytes() > small.memory_bytes());
+    }
+}

@@ -1,0 +1,171 @@
+//! 3×3 matrices (row-major), used for rigid rotations of molecules.
+
+use crate::vec3::Vec3;
+use std::ops::Mul;
+
+/// A row-major 3×3 matrix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mat3 {
+    /// Rows of the matrix.
+    pub rows: [Vec3; 3],
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 { rows: [Vec3::X, Vec3::Y, Vec3::Z] };
+
+    /// Builds a matrix from rows.
+    #[inline]
+    pub const fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Mat3 {
+        Mat3 { rows: [r0, r1, r2] }
+    }
+
+    /// Rotation about an arbitrary axis by `angle` radians (Rodrigues).
+    ///
+    /// `axis` need not be normalized; a zero axis yields the identity.
+    pub fn rotation(axis: Vec3, angle: f64) -> Mat3 {
+        let a = axis.normalized();
+        if a == Vec3::ZERO {
+            return Mat3::IDENTITY;
+        }
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        let (x, y, z) = (a.x, a.y, a.z);
+        Mat3::from_rows(
+            Vec3::new(t * x * x + c, t * x * y - s * z, t * x * z + s * y),
+            Vec3::new(t * x * y + s * z, t * y * y + c, t * y * z - s * x),
+            Vec3::new(t * x * z - s * y, t * y * z + s * x, t * z * z + c),
+        )
+    }
+
+    /// Rotation about the x-axis.
+    pub fn rotation_x(angle: f64) -> Mat3 {
+        Mat3::rotation(Vec3::X, angle)
+    }
+
+    /// Rotation about the y-axis.
+    pub fn rotation_y(angle: f64) -> Mat3 {
+        Mat3::rotation(Vec3::Y, angle)
+    }
+
+    /// Rotation about the z-axis.
+    pub fn rotation_z(angle: f64) -> Mat3 {
+        Mat3::rotation(Vec3::Z, angle)
+    }
+
+    /// Matrix transpose. For rotation matrices this is the inverse.
+    #[inline]
+    pub fn transpose(&self) -> Mat3 {
+        let [r0, r1, r2] = self.rows;
+        Mat3::from_rows(
+            Vec3::new(r0.x, r1.x, r2.x),
+            Vec3::new(r0.y, r1.y, r2.y),
+            Vec3::new(r0.z, r1.z, r2.z),
+        )
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> f64 {
+        let [r0, r1, r2] = self.rows;
+        r0.dot(r1.cross(r2))
+    }
+
+    /// Applies the matrix to a vector.
+    #[inline(always)]
+    pub fn apply(&self, v: Vec3) -> Vec3 {
+        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+    }
+
+    /// True when `self * self^T == I` within `tol` (i.e. a proper or
+    /// improper rotation).
+    pub fn is_orthonormal(&self, tol: f64) -> bool {
+        let p = *self * self.transpose();
+        let i = Mat3::IDENTITY;
+        (0..3).all(|r| (p.rows[r] - i.rows[r]).norm() < tol)
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Mat3;
+    fn mul(self, o: Mat3) -> Mat3 {
+        let ot = o.transpose();
+        Mat3::from_rows(
+            Vec3::new(self.rows[0].dot(ot.rows[0]), self.rows[0].dot(ot.rows[1]), self.rows[0].dot(ot.rows[2])),
+            Vec3::new(self.rows[1].dot(ot.rows[0]), self.rows[1].dot(ot.rows[1]), self.rows[1].dot(ot.rows[2])),
+            Vec3::new(self.rows[2].dot(ot.rows[0]), self.rows[2].dot(ot.rows[1]), self.rows[2].dot(ot.rows[2])),
+        )
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn mul(self, v: Vec3) -> Vec3 {
+        self.apply(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn identity_is_noop() {
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Mat3::IDENTITY * v, v);
+        assert_eq!((Mat3::IDENTITY * Mat3::IDENTITY) * v, v);
+    }
+
+    #[test]
+    fn quarter_turn_about_z() {
+        let r = Mat3::rotation_z(FRAC_PI_2);
+        let v = r * Vec3::X;
+        assert!((v - Vec3::Y).norm() < 1e-12);
+    }
+
+    #[test]
+    fn rotations_are_orthonormal_with_unit_det() {
+        for (axis, angle) in [
+            (Vec3::new(1.0, 2.0, 3.0), 0.7),
+            (Vec3::X, PI),
+            (Vec3::new(-1.0, 1.0, 0.5), 2.9),
+        ] {
+            let r = Mat3::rotation(axis, angle);
+            assert!(r.is_orthonormal(1e-12));
+            assert!((r.det() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_lengths_and_angles() {
+        let r = Mat3::rotation(Vec3::new(0.3, -0.4, 0.9), 1.234);
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 1.0);
+        assert!(((r * a).norm() - a.norm()).abs() < 1e-12);
+        assert!(((r * a).dot(r * b) - a.dot(b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_is_inverse_for_rotations() {
+        let r = Mat3::rotation(Vec3::new(1.0, 1.0, 1.0), 0.8);
+        let v = Vec3::new(4.0, -1.0, 2.0);
+        let back = r.transpose() * (r * v);
+        assert!((back - v).norm() < 1e-12);
+    }
+
+    #[test]
+    fn zero_axis_rotation_is_identity() {
+        assert_eq!(Mat3::rotation(Vec3::ZERO, 1.0), Mat3::IDENTITY);
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let r1 = Mat3::rotation_x(0.5);
+        let r2 = Mat3::rotation_y(0.25);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let once = (r2 * r1) * v;
+        let twice = r2 * (r1 * v);
+        assert!((once - twice).norm() < 1e-12);
+    }
+}

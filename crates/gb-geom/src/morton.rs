@@ -1,0 +1,158 @@
+//! 63-bit 3-D Morton (Z-order) codes.
+//!
+//! The octree builder sorts points by Morton code before recursive
+//! partitioning: points that are close in space become close in memory,
+//! which is what makes the octree traversals cache-friendly (the property
+//! the paper leans on when comparing octrees against `nblist`s).
+//!
+//! Codes interleave 21 bits per axis (`x` in the lowest bit of each triple),
+//! computed from coordinates normalized to `[0,1)^3` over a bounding box.
+
+use crate::aabb::Aabb;
+use crate::vec3::Vec3;
+
+/// Number of bits encoded per axis.
+pub const BITS_PER_AXIS: u32 = 21;
+const MAX_COORD: u64 = (1 << BITS_PER_AXIS) - 1;
+
+/// Spreads the low 21 bits of `v` so consecutive bits land 3 apart.
+#[inline]
+fn spread(v: u64) -> u64 {
+    let mut x = v & MAX_COORD;
+    x = (x | (x << 32)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x << 16)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x << 8)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x << 4)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`spread`]: compacts every third bit into the low 21 bits.
+#[inline]
+fn compact(v: u64) -> u64 {
+    let mut x = v & 0x1249_2492_4924_9249;
+    x = (x ^ (x >> 2)) & 0x10C3_0C30_C30C_30C3;
+    x = (x ^ (x >> 4)) & 0x100F_00F0_0F00_F00F;
+    x = (x ^ (x >> 8)) & 0x001F_0000_FF00_00FF;
+    x = (x ^ (x >> 16)) & 0x001F_0000_0000_FFFF;
+    x = (x ^ (x >> 32)) & MAX_COORD;
+    x
+}
+
+/// Encodes integer lattice coordinates (each `< 2^21`) into a Morton code.
+#[inline]
+pub fn encode_lattice(x: u64, y: u64, z: u64) -> u64 {
+    spread(x) | (spread(y) << 1) | (spread(z) << 2)
+}
+
+/// Decodes a Morton code back into lattice coordinates `(x, y, z)`.
+#[inline]
+pub fn decode_lattice(code: u64) -> (u64, u64, u64) {
+    (compact(code), compact(code >> 1), compact(code >> 2))
+}
+
+/// Quantizes a point inside `bbox` to the Morton lattice and encodes it.
+///
+/// Points outside the box are clamped; callers should pass the cubified
+/// root box used for octree construction.
+#[inline]
+pub fn encode_point(p: Vec3, bbox: &Aabb) -> u64 {
+    let n = bbox.normalize_point(p);
+    let scale = MAX_COORD as f64;
+    let q = |v: f64| -> u64 { ((v.clamp(0.0, 1.0) * scale) as u64).min(MAX_COORD) };
+    encode_lattice(q(n.x), q(n.y), q(n.z))
+}
+
+/// Sorts indices `0..points.len()` by Morton code over `bbox`, returning the
+/// permutation. A stable sort keeps equal-code points in input order so
+/// construction is fully deterministic.
+pub fn sort_indices_by_code(points: &[Vec3], bbox: &Aabb) -> Vec<u32> {
+    let codes: Vec<u64> = points.iter().map(|&p| encode_point(p, bbox)).collect();
+    let mut idx: Vec<u32> = (0..points.len() as u32).collect();
+    idx.sort_by_key(|&i| codes[i as usize]);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    #[test]
+    fn spread_compact_roundtrip() {
+        let mut rng = DetRng::new(11);
+        for _ in 0..1_000 {
+            let v = rng.next_u64() & MAX_COORD;
+            assert_eq!(compact(spread(v)), v);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut rng = DetRng::new(12);
+        for _ in 0..1_000 {
+            let x = rng.next_u64() & MAX_COORD;
+            let y = rng.next_u64() & MAX_COORD;
+            let z = rng.next_u64() & MAX_COORD;
+            assert_eq!(decode_lattice(encode_lattice(x, y, z)), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn encode_is_monotone_along_axes() {
+        // Along each single axis, larger coordinate => larger code.
+        assert!(encode_lattice(1, 0, 0) > encode_lattice(0, 0, 0));
+        assert!(encode_lattice(0, 1, 0) > encode_lattice(0, 0, 0));
+        assert!(encode_lattice(0, 0, 1) > encode_lattice(0, 0, 0));
+        assert!(encode_lattice(5, 0, 0) > encode_lattice(4, 0, 0));
+    }
+
+    #[test]
+    fn z_bit_outranks_y_outranks_x() {
+        assert!(encode_lattice(0, 0, 1) > encode_lattice(0, 1, 0));
+        assert!(encode_lattice(0, 1, 0) > encode_lattice(1, 0, 0));
+    }
+
+    #[test]
+    fn point_encoding_clamps_outside_box() {
+        let bbox = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let inside = encode_point(Vec3::new(0.999, 0.999, 0.999), &bbox);
+        let outside = encode_point(Vec3::new(10.0, 10.0, 10.0), &bbox);
+        assert_eq!(inside.max(outside), outside);
+        assert_eq!(encode_point(Vec3::new(-5.0, -5.0, -5.0), &bbox), 0);
+    }
+
+    #[test]
+    fn sorted_indices_are_a_permutation() {
+        let mut rng = DetRng::new(13);
+        let pts: Vec<Vec3> =
+            (0..256).map(|_| Vec3::new(rng.f64(), rng.f64(), rng.f64())).collect();
+        let bbox = Aabb::from_points(&pts).cube(1e-6);
+        let order = sort_indices_by_code(&pts, &bbox);
+        let mut seen = vec![false; pts.len()];
+        for &i in &order {
+            assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+        // codes must be non-decreasing in the sorted order
+        let codes: Vec<u64> = order.iter().map(|&i| encode_point(pts[i as usize], &bbox)).collect();
+        assert!(codes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn morton_locality_beats_random_order() {
+        // Average distance between consecutive points in Morton order should
+        // be much smaller than in input (random) order.
+        let mut rng = DetRng::new(14);
+        let pts: Vec<Vec3> =
+            (0..2_000).map(|_| Vec3::new(rng.f64(), rng.f64(), rng.f64())).collect();
+        let bbox = Aabb::from_points(&pts).cube(1e-6);
+        let order = sort_indices_by_code(&pts, &bbox);
+        let avg = |seq: &[u32]| -> f64 {
+            seq.windows(2).map(|w| pts[w[0] as usize].dist(pts[w[1] as usize])).sum::<f64>()
+                / (seq.len() - 1) as f64
+        };
+        let input_order: Vec<u32> = (0..pts.len() as u32).collect();
+        assert!(avg(&order) < 0.5 * avg(&input_order), "Morton order should improve locality");
+    }
+}

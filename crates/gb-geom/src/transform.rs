@@ -1,0 +1,137 @@
+//! Rigid-body transforms (rotation + translation).
+//!
+//! The paper notes (§IV-C) that for docking, where a ligand is placed at
+//! thousands of poses relative to a receptor, the octree need not be rebuilt:
+//! the same tree can be *moved* by multiplying with transformation matrices.
+//! [`RigidTransform`] is that matrix, and `gb-octree` exposes a
+//! `transformed` operation that applies it to node centers and point
+//! coordinates while leaving the tree topology and node radii untouched
+//! (rigid motions preserve distances).
+
+use crate::mat3::Mat3;
+use crate::vec3::Vec3;
+use std::ops::Mul;
+
+/// A rigid motion `p -> R * p + t`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RigidTransform {
+    /// Rotation part (must be orthonormal with det +1).
+    pub rotation: Mat3,
+    /// Translation part.
+    pub translation: Vec3,
+}
+
+impl RigidTransform {
+    /// The identity motion.
+    pub const IDENTITY: RigidTransform =
+        RigidTransform { rotation: Mat3::IDENTITY, translation: Vec3::ZERO };
+
+    /// Pure translation.
+    #[inline]
+    pub fn translation(t: Vec3) -> RigidTransform {
+        RigidTransform { rotation: Mat3::IDENTITY, translation: t }
+    }
+
+    /// Pure rotation about the origin.
+    #[inline]
+    pub fn rotation(axis: Vec3, angle: f64) -> RigidTransform {
+        RigidTransform { rotation: Mat3::rotation(axis, angle), translation: Vec3::ZERO }
+    }
+
+    /// Rotation about an arbitrary pivot point.
+    pub fn rotation_about(pivot: Vec3, axis: Vec3, angle: f64) -> RigidTransform {
+        let r = Mat3::rotation(axis, angle);
+        RigidTransform { rotation: r, translation: pivot - r * pivot }
+    }
+
+    /// Applies the motion to a point.
+    #[inline(always)]
+    pub fn apply(&self, p: Vec3) -> Vec3 {
+        self.rotation * p + self.translation
+    }
+
+    /// Applies only the rotation (correct for directions/normals).
+    #[inline(always)]
+    pub fn apply_vector(&self, v: Vec3) -> Vec3 {
+        self.rotation * v
+    }
+
+    /// The inverse motion.
+    pub fn inverse(&self) -> RigidTransform {
+        let rt = self.rotation.transpose();
+        RigidTransform { rotation: rt, translation: -(rt * self.translation) }
+    }
+}
+
+impl Mul for RigidTransform {
+    type Output = RigidTransform;
+    /// Composition: `(a * b).apply(p) == a.apply(b.apply(p))`.
+    fn mul(self, b: RigidTransform) -> RigidTransform {
+        RigidTransform {
+            rotation: self.rotation * b.rotation,
+            translation: self.rotation * b.translation + self.translation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn identity_is_noop() {
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(RigidTransform::IDENTITY.apply(p), p);
+    }
+
+    #[test]
+    fn translation_moves_points_not_vectors() {
+        let t = RigidTransform::translation(Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(t.apply(Vec3::ZERO), Vec3::X);
+        assert_eq!(t.apply_vector(Vec3::Y), Vec3::Y);
+    }
+
+    #[test]
+    fn composition_order() {
+        let a = RigidTransform::translation(Vec3::X);
+        let b = RigidTransform::rotation(Vec3::Z, FRAC_PI_2);
+        let p = Vec3::X;
+        let composed = (a * b).apply(p);
+        let sequential = a.apply(b.apply(p));
+        assert!((composed - sequential).norm() < 1e-12);
+        // rotate X->Y then translate by X: expect (1, 1, 0)
+        assert!((composed - Vec3::new(1.0, 1.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let t = RigidTransform::rotation_about(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(0.5, -1.0, 2.0),
+            0.83,
+        ) * RigidTransform::translation(Vec3::new(-4.0, 0.1, 7.0));
+        let p = Vec3::new(9.0, -3.0, 2.5);
+        let q = t.inverse().apply(t.apply(p));
+        assert!((q - p).norm() < 1e-10);
+    }
+
+    #[test]
+    fn rotation_about_pivot_fixes_pivot() {
+        let pivot = Vec3::new(2.0, -1.0, 4.0);
+        let t = RigidTransform::rotation_about(pivot, Vec3::new(1.0, 1.0, 0.0), 1.1);
+        assert!((t.apply(pivot) - pivot).norm() < 1e-12);
+        // ... and preserves distances to the pivot
+        let p = Vec3::new(5.0, 5.0, 5.0);
+        assert!((t.apply(p).dist(pivot) - p.dist(pivot)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rigid_motion_preserves_pairwise_distances() {
+        let t = RigidTransform::rotation(Vec3::new(1.0, 2.0, -0.5), 2.2)
+            * RigidTransform::translation(Vec3::new(3.0, 3.0, 3.0));
+        let a = Vec3::new(0.0, 1.0, 2.0);
+        let b = Vec3::new(-1.0, 4.0, 0.5);
+        assert!((t.apply(a).dist(t.apply(b)) - a.dist(b)).abs() < 1e-12);
+    }
+}

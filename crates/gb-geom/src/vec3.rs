@@ -1,0 +1,385 @@
+//! A minimal 3-component `f64` vector.
+//!
+//! Deliberately hand-rolled rather than pulling in a linear-algebra crate:
+//! the workspace only ever needs points, displacements, dot/cross products
+//! and norms, and a 24-byte `Copy` struct with inlined operators is the
+//! fastest possible representation for the O(M·N) inner loops of the Born
+//! radius integrals.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3-D vector (or point) with `f64` components.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// The all-ones vector.
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    /// Unit vector along +x.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along +y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along +z.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from components.
+    #[inline(always)]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    #[inline(always)]
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline(always)]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline(always)]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    /// Squared Euclidean norm.
+    #[inline(always)]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline(always)]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared distance to another point.
+    #[inline(always)]
+    pub fn dist_sq(self, o: Vec3) -> f64 {
+        (self - o).norm_sq()
+    }
+
+    /// Distance to another point.
+    #[inline(always)]
+    pub fn dist(self, o: Vec3) -> f64 {
+        self.dist_sq(o).sqrt()
+    }
+
+    /// Returns the unit vector in this direction.
+    ///
+    /// Returns `Vec3::ZERO` for the zero vector rather than NaN, which is the
+    /// safe behaviour for degenerate surface normals.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n > 0.0 {
+            self / n
+        } else {
+            Vec3::ZERO
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline(always)]
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline(always)]
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Largest component.
+    #[inline(always)]
+    pub fn max_component(self) -> f64 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Smallest component.
+    #[inline(always)]
+    pub fn min_component(self) -> f64 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// Component-wise absolute value.
+    #[inline(always)]
+    pub fn abs(self) -> Vec3 {
+        Vec3::new(self.x.abs(), self.y.abs(), self.z.abs())
+    }
+
+    /// Linear interpolation: `self + t * (o - self)`.
+    #[inline(always)]
+    pub fn lerp(self, o: Vec3, t: f64) -> Vec3 {
+        self + (o - self) * t
+    }
+
+    /// True when all components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Returns the components as an array.
+    #[inline(always)]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Builds a vector from an array.
+    #[inline(always)]
+    pub fn from_array(a: [f64; 3]) -> Vec3 {
+        Vec3::new(a[0], a[1], a[2])
+    }
+
+    /// Returns a vector orthogonal to `self` (arbitrary but deterministic).
+    ///
+    /// Useful for constructing local frames on surface normals.
+    pub fn any_orthogonal(self) -> Vec3 {
+        let candidate = if self.x.abs() < 0.9 { Vec3::X } else { Vec3::Y };
+        self.cross(candidate).normalized()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline(always)]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline(always)]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline(always)]
+    fn mul_assign(&mut self, s: f64) {
+        *self = *self * s;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline(always)]
+    fn div_assign(&mut self, s: f64) {
+        *self = *self / s;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline(always)]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline(always)]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6}, {:.6})", self.x, self.y, self.z)
+    }
+}
+
+/// Computes the centroid (arithmetic mean) of a point set.
+///
+/// Returns `Vec3::ZERO` for an empty slice.
+pub fn centroid(points: &[Vec3]) -> Vec3 {
+    if points.is_empty() {
+        return Vec3::ZERO;
+    }
+    points.iter().copied().sum::<Vec3>() / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 5.5, 0.25);
+        assert_eq!(a + b - b, a);
+        assert_eq!((a * 2.0) / 2.0, a);
+        assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn dot_and_cross_identities() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, -5.0, 6.0);
+        // cross product orthogonal to both factors
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+        // Lagrange identity |a x b|^2 = |a|^2|b|^2 - (a.b)^2
+        let lhs = c.norm_sq();
+        let rhs = a.norm_sq() * b.norm_sq() - a.dot(b).powi(2);
+        assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let a = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.dist(Vec3::ZERO), 5.0);
+        assert_eq!(a.normalized().norm(), 1.0);
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn component_minmax() {
+        let a = Vec3::new(1.0, 5.0, -2.0);
+        let b = Vec3::new(2.0, -3.0, 0.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, -3.0, -2.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, 0.0));
+        assert_eq!(a.max_component(), 5.0);
+        assert_eq!(a.min_component(), -2.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec3::new(0.0, 1.0, 2.0);
+        let b = Vec3::new(10.0, -1.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let mid = a.lerp(b, 0.5);
+        assert_eq!(mid, Vec3::new(5.0, 0.0, 3.0));
+    }
+
+    #[test]
+    fn indexing_matches_fields() {
+        let mut a = Vec3::new(7.0, 8.0, 9.0);
+        assert_eq!(a[0], 7.0);
+        assert_eq!(a[1], 8.0);
+        assert_eq!(a[2], 9.0);
+        a[2] = -1.0;
+        assert_eq!(a.z, -1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_out_of_range_panics() {
+        let a = Vec3::ZERO;
+        let _ = a[3];
+    }
+
+    #[test]
+    fn centroid_of_points() {
+        let pts = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(0.0, 2.0, 0.0),
+            Vec3::new(0.0, 0.0, 2.0),
+        ];
+        assert_eq!(centroid(&pts), Vec3::new(0.5, 0.5, 0.5));
+        assert_eq!(centroid(&[]), Vec3::ZERO);
+    }
+
+    #[test]
+    fn any_orthogonal_is_orthogonal_unit() {
+        for v in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(1.0, 2.0, 3.0), Vec3::new(-0.1, 0.9, 0.0)] {
+            let o = v.any_orthogonal();
+            assert!(o.dot(v).abs() < 1e-12, "not orthogonal for {v}");
+            assert!((o.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let pts = vec![Vec3::X, Vec3::Y, Vec3::Z];
+        let s: Vec3 = pts.into_iter().sum();
+        assert_eq!(s, Vec3::ONE);
+    }
+}

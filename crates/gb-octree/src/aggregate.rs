@@ -1,0 +1,137 @@
+//! Bottom-up aggregation of per-node pseudo-particle payloads.
+//!
+//! The far-field evaluation of both paper kernels needs a per-node summary
+//! of the points beneath the node:
+//!
+//! * `T_Q` nodes carry the summed weighted surface normal
+//!   `ñ_Q = Σ_{q∈Q} w_q n_q` (APPROX-INTEGRALS, Fig. 2),
+//! * `T_A` nodes carry the Born-radius-binned charge histogram
+//!   `q_U[k]` (APPROX-EPOL, Fig. 3).
+//!
+//! [`Octree::aggregate`] computes any such summary in one pass. Because
+//! nodes are stored in depth-first preorder, every child has a *larger*
+//! index than its parent, so a single reverse sweep over the node array is a
+//! valid bottom-up order — no recursion, no child pointers chased.
+
+use crate::tree::Octree;
+
+impl Octree {
+    /// Computes a per-node aggregate bottom-up.
+    ///
+    /// * `leaf` is called once per leaf with the leaf's tree-position range
+    ///   and must return the aggregate of those points;
+    /// * `merge` combines child aggregates into the parent's.
+    ///
+    /// Returns one `T` per node, indexed by [`NodeId`](crate::NodeId).
+    pub fn aggregate<T: Clone + Default>(
+        &self,
+        mut leaf: impl FnMut(std::ops::Range<usize>) -> T,
+        mut merge: impl FnMut(&mut T, &T),
+    ) -> Vec<T> {
+        let mut out: Vec<T> = vec![T::default(); self.nodes.len()];
+        for id in (0..self.nodes.len()).rev() {
+            let n = &self.nodes[id];
+            if n.is_leaf() {
+                out[id] = leaf(n.range());
+            } else {
+                let mut acc = T::default();
+                for c in n.children() {
+                    // children have larger ids: already computed
+                    let child_val = out[c as usize].clone();
+                    merge(&mut acc, &child_val);
+                }
+                out[id] = acc;
+            }
+        }
+        out
+    }
+
+    /// Convenience: per-node sums of a scalar defined on *original* point
+    /// indices (e.g. per-atom charge).
+    pub fn aggregate_scalar(&self, values: &[f64]) -> Vec<f64> {
+        assert_eq!(values.len(), self.num_points());
+        self.aggregate(
+            |range| range.map(|i| values[self.order[i] as usize]).sum(),
+            |acc, v| *acc += v,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_geom::{DetRng, Vec3};
+
+    fn cloud(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = DetRng::new(seed);
+        (0..n)
+            .map(|_| Vec3::new(rng.f64_in(-5.0, 5.0), rng.f64_in(-5.0, 5.0), rng.f64_in(-5.0, 5.0)))
+            .collect()
+    }
+
+    #[test]
+    fn point_counts_aggregate_to_node_counts() {
+        let pts = cloud(500, 8);
+        let t = Octree::build(&pts, 8);
+        let counts: Vec<usize> = t.aggregate(|r| r.len(), |a, b| *a += b);
+        for (id, n) in t.nodes().iter().enumerate() {
+            assert_eq!(counts[id], n.count(), "node {id}");
+        }
+    }
+
+    #[test]
+    fn scalar_aggregate_matches_direct_sum() {
+        let pts = cloud(300, 9);
+        let mut rng = DetRng::new(10);
+        let vals: Vec<f64> = (0..pts.len()).map(|_| rng.f64_in(-1.0, 1.0)).collect();
+        let t = Octree::build(&pts, 8);
+        let sums = t.aggregate_scalar(&vals);
+        // root aggregate = total sum
+        let total: f64 = vals.iter().sum();
+        assert!((sums[0] - total).abs() < 1e-9);
+        // every internal node = sum of children
+        for (id, n) in t.nodes().iter().enumerate() {
+            if !n.is_leaf() {
+                let child_sum: f64 = n.children().map(|c| sums[c as usize]).sum();
+                assert!((sums[id] - child_sum).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn vector_aggregate_centroid_consistency() {
+        // Aggregating (sum of positions, count) reproduces node centroids.
+        let pts = cloud(400, 11);
+        let t = Octree::build(&pts, 4);
+        #[derive(Clone, Default)]
+        struct Acc {
+            sum: Vec3,
+            n: usize,
+        }
+        let acc = t.aggregate(
+            |range| {
+                let mut a = Acc::default();
+                for i in range {
+                    a.sum += t.points()[i];
+                    a.n += 1;
+                }
+                a
+            },
+            |a, b| {
+                a.sum += b.sum;
+                a.n += b.n;
+            },
+        );
+        for (id, n) in t.nodes().iter().enumerate() {
+            let c = acc[id].sum / acc[id].n as f64;
+            assert!((c - n.centroid).norm() < 1e-9, "node {id}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn scalar_aggregate_rejects_wrong_length() {
+        let t = Octree::build(&cloud(10, 1), 4);
+        let _ = t.aggregate_scalar(&[1.0, 2.0]);
+    }
+}

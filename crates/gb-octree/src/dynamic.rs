@@ -1,0 +1,160 @@
+//! Dynamic maintenance: refitting an octree after small coordinate changes.
+//!
+//! The paper (and its companion work on dynamic octrees for flexible
+//! molecules) argues that octrees beat `nblist`s for *updates*: after a
+//! molecular-dynamics step perturbs coordinates slightly, the tree topology
+//! is still a good spatial partition — only the node summaries (centroid,
+//! radius, loose bbox) need recomputation. [`Octree::refit`] does exactly
+//! that in O(M log M); [`Octree::needs_rebuild`] reports when drift has
+//! degraded leaf occupancy enough that a fresh [`Octree::build`] is worth it.
+
+use crate::tree::Octree;
+use gb_geom::{Aabb, Vec3};
+
+impl Octree {
+    /// Updates point positions *in place*, keeping the existing topology.
+    ///
+    /// `new_positions` is indexed by **original** point index (same
+    /// convention as the builder input). Node centroids, radii and loose
+    /// bounding boxes are recomputed bottom-up; ranges, the permutation and
+    /// parent/child links are untouched. All tree invariants except
+    /// "cells are disjoint cubes" continue to hold (cells become loose
+    /// bounds, which is all queries need).
+    pub fn refit(&mut self, new_positions: &[Vec3]) {
+        assert_eq!(
+            new_positions.len(),
+            self.num_points(),
+            "refit requires one position per point"
+        );
+        for i in 0..self.points.len() {
+            self.points[i] = new_positions[self.order[i] as usize];
+        }
+        for id in (0..self.nodes.len()).rev() {
+            let range = self.nodes[id].range();
+            let slice = &self.points[range];
+            let mut c = Vec3::ZERO;
+            for &p in slice {
+                c += p;
+            }
+            c /= slice.len().max(1) as f64;
+            let mut r2: f64 = 0.0;
+            let mut bbox = Aabb::EMPTY;
+            for &p in slice {
+                r2 = r2.max(p.dist_sq(c));
+                bbox.grow(p);
+            }
+            let n = &mut self.nodes[id];
+            n.centroid = c;
+            n.radius = r2.sqrt();
+            n.bbox = bbox;
+        }
+        if let Some(root) = self.nodes.first() {
+            self.bbox = root.bbox;
+        }
+    }
+
+    /// Heuristic rebuild trigger: leaf balls compared against the leaf-cell
+    /// size a *fresh* tree of this domain would have.
+    ///
+    /// For `L` leaves over a domain of circumradius `R`, a balanced octree
+    /// has leaf cells of circumradius roughly `R / L^(1/3)`. When points
+    /// drift, leaf balls grow but the leaf count is fixed, so the average
+    /// ratio of leaf-ball radius to that expected cell size climbs past 1.
+    /// Returns true when it exceeds `threshold` (1.5–2.0 is a reasonable
+    /// trigger; pruning degrades sharply beyond that).
+    pub fn needs_rebuild(&self, threshold: f64) -> bool {
+        if self.leaves.is_empty() {
+            return false;
+        }
+        let root_r = self.node(Self::ROOT).bbox.circumradius().max(1e-12);
+        let expected = root_r / (self.leaves.len() as f64).cbrt();
+        let mut ratio_sum = 0.0;
+        for &l in &self.leaves {
+            ratio_sum += self.node(l).radius / expected;
+        }
+        ratio_sum / self.leaves.len() as f64 > threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_geom::DetRng;
+
+    fn cloud(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = DetRng::new(seed);
+        (0..n)
+            .map(|_| Vec3::new(rng.f64_in(-5.0, 5.0), rng.f64_in(-5.0, 5.0), rng.f64_in(-5.0, 5.0)))
+            .collect()
+    }
+
+    #[test]
+    fn refit_identity_preserves_everything() {
+        let pts = cloud(400, 1);
+        let mut t = Octree::build(&pts, 8);
+        let before: Vec<_> = t.nodes().iter().map(|n| (n.centroid, n.radius)).collect();
+        t.refit(&pts);
+        for ((c0, r0), n) in before.into_iter().zip(t.nodes()) {
+            assert!((c0 - n.centroid).norm() < 1e-12);
+            assert!((r0 - n.radius).abs() < 1e-12);
+        }
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn refit_after_perturbation_keeps_radius_bounds() {
+        let pts = cloud(600, 2);
+        let mut t = Octree::build(&pts, 8);
+        let mut rng = DetRng::new(77);
+        let moved: Vec<Vec3> = pts
+            .iter()
+            .map(|&p| p + Vec3::new(rng.normal(), rng.normal(), rng.normal()) * 0.05)
+            .collect();
+        t.refit(&moved);
+        t.validate().unwrap();
+        // queries still correct after refit
+        let c = Vec3::ZERO;
+        let r = 2.5;
+        let mut found = Vec::new();
+        t.for_each_in_sphere(c, r, |_, orig, _| found.push(orig));
+        found.sort_unstable();
+        let mut expected: Vec<usize> =
+            (0..moved.len()).filter(|&i| moved[i].dist_sq(c) <= r * r).collect();
+        expected.sort_unstable();
+        assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn refit_with_translation_moves_centroids() {
+        let pts = cloud(100, 3);
+        let mut t = Octree::build(&pts, 8);
+        let shift = Vec3::new(3.0, -1.0, 2.0);
+        let moved: Vec<Vec3> = pts.iter().map(|&p| p + shift).collect();
+        let root_before = t.node(Octree::ROOT).centroid;
+        t.refit(&moved);
+        let root_after = t.node(Octree::ROOT).centroid;
+        assert!((root_after - (root_before + shift)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn needs_rebuild_false_when_fresh_true_after_scatter() {
+        let pts = cloud(500, 4);
+        let mut t = Octree::build(&pts, 8);
+        assert!(!t.needs_rebuild(1.5));
+        // scatter points wildly: topology is now useless
+        let mut rng = DetRng::new(5);
+        let scattered: Vec<Vec3> = pts
+            .iter()
+            .map(|_| Vec3::new(rng.f64_in(-500.0, 500.0), rng.f64_in(-500.0, 500.0), rng.f64_in(-500.0, 500.0)))
+            .collect();
+        t.refit(&scattered);
+        assert!(t.needs_rebuild(1.5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn refit_rejects_wrong_length() {
+        let mut t = Octree::build(&cloud(10, 6), 4);
+        t.refit(&[Vec3::ZERO]);
+    }
+}

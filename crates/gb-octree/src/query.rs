@@ -1,0 +1,198 @@
+//! Spatial queries: sphere range search and nearest-neighbour counting.
+//!
+//! The surface sampler uses [`Octree::for_each_in_sphere`] to find atoms
+//! that might bury a candidate quadrature point, and the `nblist` baseline
+//! uses it to enumerate cutoff neighbours (that baseline's memory blow-up is
+//! the point of the paper's octree-vs-nblist comparison).
+
+use crate::node::NodeId;
+use crate::tree::Octree;
+use gb_geom::Vec3;
+
+impl Octree {
+    /// Calls `f(tree_pos, original_index, position)` for every point within
+    /// `radius` of `center` (closed ball).
+    pub fn for_each_in_sphere(
+        &self,
+        center: Vec3,
+        radius: f64,
+        mut f: impl FnMut(usize, usize, Vec3),
+    ) {
+        if self.is_empty() {
+            return;
+        }
+        let r2 = radius * radius;
+        let mut stack: Vec<NodeId> = vec![Self::ROOT];
+        while let Some(id) = stack.pop() {
+            let n = self.node(id);
+            // Prune on the centroid-centered bounding ball: cheaper than the
+            // box test and exact enough (it is a true bound on the points).
+            let d = center.dist(n.centroid);
+            if d > radius + n.radius {
+                continue;
+            }
+            if n.is_leaf() || d + n.radius <= radius {
+                // Leaf, or node entirely inside the query ball: scan points.
+                for i in n.range() {
+                    let p = self.points[i];
+                    if p.dist_sq(center) <= r2 {
+                        f(i, self.order[i] as usize, p);
+                    }
+                }
+            } else {
+                stack.extend(n.children());
+            }
+        }
+    }
+
+    /// Number of points within `radius` of `center`.
+    pub fn count_in_sphere(&self, center: Vec3, radius: f64) -> usize {
+        let mut c = 0;
+        self.for_each_in_sphere(center, radius, |_, _, _| c += 1);
+        c
+    }
+
+    /// True when some point within `radius` of `center` satisfies `pred`
+    /// (called with the point's original index and position). Short-circuits
+    /// on the first hit — the workhorse of the surface sampler's buried-point
+    /// test, where `radius` is the largest atom radius and `pred` checks the
+    /// candidate against each nearby atom's own radius.
+    pub fn any_within_where(
+        &self,
+        center: Vec3,
+        radius: f64,
+        mut pred: impl FnMut(usize, Vec3) -> bool,
+    ) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let r2 = radius * radius;
+        let mut stack: Vec<NodeId> = vec![Self::ROOT];
+        while let Some(id) = stack.pop() {
+            let n = self.node(id);
+            let d = center.dist(n.centroid);
+            if d > radius + n.radius {
+                continue;
+            }
+            if n.is_leaf() {
+                for i in n.range() {
+                    let p = self.points[i];
+                    if p.dist_sq(center) <= r2 && pred(self.order[i] as usize, p) {
+                        return true;
+                    }
+                }
+            } else {
+                stack.extend(n.children());
+            }
+        }
+        false
+    }
+
+    /// True when any point other than `exclude_original` lies strictly
+    /// within `radius` of `center` (used for buried-point tests).
+    pub fn any_other_within(&self, center: Vec3, radius: f64, exclude_original: usize) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let r2 = radius * radius;
+        let mut stack: Vec<NodeId> = vec![Self::ROOT];
+        while let Some(id) = stack.pop() {
+            let n = self.node(id);
+            let d = center.dist(n.centroid);
+            if d > radius + n.radius {
+                continue;
+            }
+            if n.is_leaf() {
+                for i in n.range() {
+                    if self.order[i] as usize != exclude_original
+                        && self.points[i].dist_sq(center) < r2
+                    {
+                        return true;
+                    }
+                }
+            } else {
+                stack.extend(n.children());
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_geom::DetRng;
+
+    fn cloud(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = DetRng::new(seed);
+        (0..n)
+            .map(|_| Vec3::new(rng.f64_in(-5.0, 5.0), rng.f64_in(-5.0, 5.0), rng.f64_in(-5.0, 5.0)))
+            .collect()
+    }
+
+    fn brute_force(pts: &[Vec3], c: Vec3, r: f64) -> Vec<usize> {
+        let mut v: Vec<usize> =
+            (0..pts.len()).filter(|&i| pts[i].dist_sq(c) <= r * r).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn sphere_query_matches_brute_force() {
+        let pts = cloud(800, 31);
+        let t = Octree::build(&pts, 8);
+        let mut rng = DetRng::new(99);
+        for _ in 0..50 {
+            let c = Vec3::new(rng.f64_in(-6.0, 6.0), rng.f64_in(-6.0, 6.0), rng.f64_in(-6.0, 6.0));
+            let r = rng.f64_in(0.1, 4.0);
+            let mut found = Vec::new();
+            t.for_each_in_sphere(c, r, |_, orig, _| found.push(orig));
+            found.sort_unstable();
+            assert_eq!(found, brute_force(&pts, c, r), "c={c} r={r}");
+        }
+    }
+
+    #[test]
+    fn count_in_sphere_zero_radius() {
+        let pts = vec![Vec3::ZERO, Vec3::X];
+        let t = Octree::build(&pts, 1);
+        // zero radius: only points exactly at the center (closed ball)
+        assert_eq!(t.count_in_sphere(Vec3::ZERO, 0.0), 1);
+        assert_eq!(t.count_in_sphere(Vec3::splat(0.5), 0.0), 0);
+    }
+
+    #[test]
+    fn query_far_outside_finds_nothing() {
+        let pts = cloud(100, 2);
+        let t = Octree::build(&pts, 8);
+        assert_eq!(t.count_in_sphere(Vec3::splat(1e6), 1.0), 0);
+    }
+
+    #[test]
+    fn query_covering_everything_finds_all() {
+        let pts = cloud(257, 6);
+        let t = Octree::build(&pts, 8);
+        assert_eq!(t.count_in_sphere(Vec3::ZERO, 1e4), pts.len());
+    }
+
+    #[test]
+    fn any_other_within_excludes_self() {
+        let pts = vec![Vec3::ZERO, Vec3::new(0.5, 0.0, 0.0), Vec3::new(10.0, 0.0, 0.0)];
+        let t = Octree::build(&pts, 2);
+        // point 0 has neighbour 1 within 1.0
+        assert!(t.any_other_within(pts[0], 1.0, 0));
+        // but nothing else within 0.4
+        assert!(!t.any_other_within(pts[0], 0.4, 0));
+        // strict inequality: a point exactly at distance r does not count
+        assert!(!t.any_other_within(pts[0], 0.5, 0));
+        // isolated point 2 has no neighbours within 5
+        assert!(!t.any_other_within(pts[2], 5.0, 2));
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = Octree::build(&[], 8);
+        assert_eq!(t.count_in_sphere(Vec3::ZERO, 1.0), 0);
+        assert!(!t.any_other_within(Vec3::ZERO, 1.0, 0));
+    }
+}

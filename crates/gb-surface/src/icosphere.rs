@@ -1,0 +1,199 @@
+//! Geodesic (icosphere) triangulations of the unit sphere.
+//!
+//! Each atom's van der Waals sphere is tessellated with a subdivided
+//! icosahedron: 20 · 4^s triangles at subdivision level `s`, all vertices on
+//! the unit sphere. The triangulation is computed once per subdivision level
+//! and cached; per-atom work is just scale-and-translate.
+
+use gb_geom::Vec3;
+use std::collections::HashMap;
+
+/// A triangulation of the unit sphere.
+#[derive(Clone, Debug)]
+pub struct Icosphere {
+    /// Unit-length vertex positions.
+    pub vertices: Vec<Vec3>,
+    /// Vertex-index triples, counter-clockwise seen from outside.
+    pub triangles: Vec<[u32; 3]>,
+}
+
+impl Icosphere {
+    /// Builds the icosphere at the given subdivision level.
+    ///
+    /// Level 0 is the icosahedron (12 vertices, 20 faces); each level
+    /// quadruples the face count. Levels above 5 (20 480 faces) are clamped —
+    /// finer tessellations have no use here.
+    pub fn new(subdivisions: u8) -> Icosphere {
+        let subdivisions = subdivisions.min(5);
+        let mut sphere = icosahedron();
+        for _ in 0..subdivisions {
+            sphere = subdivide(&sphere);
+        }
+        sphere
+    }
+
+    /// Number of faces: `20 · 4^s`.
+    pub fn num_faces(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Sum of flat (chordal) triangle areas; approaches `4π` from below as
+    /// the subdivision level grows.
+    pub fn flat_area(&self) -> f64 {
+        self.triangles.iter().map(|t| self.triangle_area(*t)).sum()
+    }
+
+    /// Flat area of one face.
+    pub fn triangle_area(&self, t: [u32; 3]) -> f64 {
+        let [a, b, c] =
+            [self.vertices[t[0] as usize], self.vertices[t[1] as usize], self.vertices[t[2] as usize]];
+        (b - a).cross(c - a).norm() * 0.5
+    }
+}
+
+/// The regular icosahedron with unit-length vertices.
+fn icosahedron() -> Icosphere {
+    let phi = (1.0 + 5.0_f64.sqrt()) / 2.0;
+    let inv = 1.0 / (1.0 + phi * phi).sqrt();
+    let a = inv;
+    let b = phi * inv;
+    // 12 vertices: cyclic permutations of (0, ±a, ±b)
+    let vertices = vec![
+        Vec3::new(-a, b, 0.0),
+        Vec3::new(a, b, 0.0),
+        Vec3::new(-a, -b, 0.0),
+        Vec3::new(a, -b, 0.0),
+        Vec3::new(0.0, -a, b),
+        Vec3::new(0.0, a, b),
+        Vec3::new(0.0, -a, -b),
+        Vec3::new(0.0, a, -b),
+        Vec3::new(b, 0.0, -a),
+        Vec3::new(b, 0.0, a),
+        Vec3::new(-b, 0.0, -a),
+        Vec3::new(-b, 0.0, a),
+    ];
+    let triangles = vec![
+        [0, 11, 5],
+        [0, 5, 1],
+        [0, 1, 7],
+        [0, 7, 10],
+        [0, 10, 11],
+        [1, 5, 9],
+        [5, 11, 4],
+        [11, 10, 2],
+        [10, 7, 6],
+        [7, 1, 8],
+        [3, 9, 4],
+        [3, 4, 2],
+        [3, 2, 6],
+        [3, 6, 8],
+        [3, 8, 9],
+        [4, 9, 5],
+        [2, 4, 11],
+        [6, 2, 10],
+        [8, 6, 7],
+        [9, 8, 1],
+    ];
+    Icosphere { vertices, triangles }
+}
+
+/// One 4-way subdivision step: each face splits at its edge midpoints,
+/// midpoints projected to the unit sphere. Midpoints are shared via an edge
+/// cache so the mesh stays watertight.
+fn subdivide(s: &Icosphere) -> Icosphere {
+    let mut vertices = s.vertices.clone();
+    let mut cache: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut midpoint = |i: u32, j: u32, vertices: &mut Vec<Vec3>| -> u32 {
+        let key = (i.min(j), i.max(j));
+        *cache.entry(key).or_insert_with(|| {
+            let m = ((vertices[i as usize] + vertices[j as usize]) * 0.5).normalized();
+            vertices.push(m);
+            (vertices.len() - 1) as u32
+        })
+    };
+    let mut triangles = Vec::with_capacity(s.triangles.len() * 4);
+    for &[a, b, c] in &s.triangles {
+        let ab = midpoint(a, b, &mut vertices);
+        let bc = midpoint(b, c, &mut vertices);
+        let ca = midpoint(c, a, &mut vertices);
+        triangles.push([a, ab, ca]);
+        triangles.push([b, bc, ab]);
+        triangles.push([c, ca, bc]);
+        triangles.push([ab, bc, ca]);
+    }
+    Icosphere { vertices, triangles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn icosahedron_counts() {
+        let s = Icosphere::new(0);
+        assert_eq!(s.vertices.len(), 12);
+        assert_eq!(s.num_faces(), 20);
+    }
+
+    #[test]
+    fn subdivision_counts_follow_euler() {
+        for lvl in 0..=3u8 {
+            let s = Icosphere::new(lvl);
+            let f = 20 * 4usize.pow(lvl as u32);
+            assert_eq!(s.num_faces(), f);
+            // closed triangular mesh: E = 3F/2, V = E - F + 2
+            let e = 3 * f / 2;
+            assert_eq!(s.vertices.len(), e - f + 2);
+        }
+    }
+
+    #[test]
+    fn all_vertices_unit_length() {
+        let s = Icosphere::new(2);
+        for v in &s.vertices {
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn faces_wind_outward() {
+        // For a sphere centered at the origin, the face normal of an
+        // outward-wound triangle points away from the origin.
+        for lvl in 0..=2u8 {
+            let s = Icosphere::new(lvl);
+            for &[a, b, c] in &s.triangles {
+                let (va, vb, vc) =
+                    (s.vertices[a as usize], s.vertices[b as usize], s.vertices[c as usize]);
+                let n = (vb - va).cross(vc - va);
+                let centroid = (va + vb + vc) / 3.0;
+                assert!(n.dot(centroid) > 0.0, "inward-wound face at level {lvl}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_area_converges_to_sphere_area() {
+        let a0 = Icosphere::new(0).flat_area();
+        let a2 = Icosphere::new(2).flat_area();
+        let a3 = Icosphere::new(3).flat_area();
+        let target = 4.0 * PI;
+        assert!(a0 < a2 && a2 < a3 && a3 < target);
+        assert!((target - a3) / target < 0.01, "level 3 should be within 1%");
+    }
+
+    #[test]
+    fn no_degenerate_faces() {
+        let s = Icosphere::new(3);
+        for &t in &s.triangles {
+            assert!(s.triangle_area(t) > 1e-6);
+            assert!(t[0] != t[1] && t[1] != t[2] && t[0] != t[2]);
+        }
+    }
+
+    #[test]
+    fn subdivision_clamped() {
+        let s = Icosphere::new(9);
+        assert_eq!(s.num_faces(), 20 * 4usize.pow(5));
+    }
+}

@@ -1,0 +1,38 @@
+//! # gb-surface
+//!
+//! Molecular-surface quadrature for the surface-based r⁶ Born-radius
+//! approximation.
+//!
+//! The paper evaluates Born radii by Gaussian quadrature over a triangulated
+//! molecular surface (Eq. 4): every quadrature point carries a position
+//! `r_k`, an outward unit normal `n_k` and a weight `w_k` such that
+//!
+//! ```text
+//! 1/R_i^3  ≈  (1/4π) Σ_k  w_k · (r_k − x_i)·n_k / |r_k − x_i|^6
+//! ```
+//!
+//! This crate produces that `(position, normal, weight)` set:
+//!
+//! * [`dunavant`] — symmetric Gaussian quadrature rules on triangles
+//!   (Dunavant 1985), degrees 1–5, the rules the paper cites for placing
+//!   integration points inside each surface triangle;
+//! * [`icosphere`] — geodesic triangulations of the unit sphere, used to
+//!   tessellate each atom's van der Waals sphere;
+//! * [`sampling`] — the sampler itself: tessellate every atom sphere, place
+//!   Dunavant points in each triangle, project them back to the sphere,
+//!   weight them by triangle area (normalized so each full sphere integrates
+//!   its own area exactly), then discard points buried inside neighbouring
+//!   atoms (octree-accelerated). What survives tiles the boundary of the
+//!   union of atom spheres — the molecular surface.
+//!
+//! The key validation property (tested here and relied on by `gb-core`): a
+//! lone atom's quadrature set recovers its Born radius *exactly*, because
+//! the integrand is constant over its own sphere.
+
+pub mod dunavant;
+pub mod icosphere;
+pub mod quadset;
+pub mod sampling;
+
+pub use quadset::QuadraturePoints;
+pub use sampling::{sample_surface, SurfaceParams};

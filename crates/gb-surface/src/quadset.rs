@@ -1,0 +1,153 @@
+//! The quadrature-point set: positions, outward normals, weights.
+
+use gb_geom::{Aabb, RigidTransform, Vec3};
+
+/// Surface quadrature points in struct-of-arrays layout.
+///
+/// This is the set `Q` of the paper: `positions[k] = r_k`,
+/// `normals[k] = n_k` (unit outward), `weights[k] = w_k`, with
+/// `Σ_k w_k ≈ area(molecular surface)`.
+#[derive(Clone, Debug, Default)]
+pub struct QuadraturePoints {
+    positions: Vec<Vec3>,
+    normals: Vec<Vec3>,
+    weights: Vec<f64>,
+}
+
+impl QuadraturePoints {
+    /// Creates an empty set with reserved capacity.
+    pub fn with_capacity(cap: usize) -> QuadraturePoints {
+        QuadraturePoints {
+            positions: Vec::with_capacity(cap),
+            normals: Vec::with_capacity(cap),
+            weights: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a point. `normal` must be unit length (checked in debug).
+    #[inline]
+    pub fn push(&mut self, position: Vec3, normal: Vec3, weight: f64) {
+        debug_assert!((normal.norm() - 1.0).abs() < 1e-6, "normal must be unit length");
+        self.positions.push(position);
+        self.normals.push(normal);
+        self.weights.push(weight);
+    }
+
+    /// Number of quadrature points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Point positions `r_k`.
+    #[inline]
+    pub fn positions(&self) -> &[Vec3] {
+        &self.positions
+    }
+
+    /// Unit outward normals `n_k`.
+    #[inline]
+    pub fn normals(&self) -> &[Vec3] {
+        &self.normals
+    }
+
+    /// Weights `w_k` (dimension: area).
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Total weight = estimated surface area.
+    pub fn total_area(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Appends all points of `other`.
+    pub fn merge(&mut self, other: &QuadraturePoints) {
+        self.positions.extend_from_slice(&other.positions);
+        self.normals.extend_from_slice(&other.normals);
+        self.weights.extend_from_slice(&other.weights);
+    }
+
+    /// Applies a rigid motion to positions and normals (weights invariant).
+    pub fn transform(&mut self, t: &RigidTransform) {
+        for p in &mut self.positions {
+            *p = t.apply(*p);
+        }
+        for n in &mut self.normals {
+            *n = t.apply_vector(*n);
+        }
+    }
+
+    /// Tight bounding box of the point positions.
+    pub fn bounding_box(&self) -> Aabb {
+        Aabb::from_points(&self.positions)
+    }
+
+    /// Estimated heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.positions.capacity() * std::mem::size_of::<Vec3>()
+            + self.normals.capacity() * std::mem::size_of::<Vec3>()
+            + self.weights.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QuadraturePoints {
+        let mut q = QuadraturePoints::with_capacity(4);
+        q.push(Vec3::X, Vec3::X, 1.5);
+        q.push(Vec3::Y, Vec3::Y, 2.5);
+        q
+    }
+
+    #[test]
+    fn push_and_accessors() {
+        let q = sample();
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        assert_eq!(q.positions()[1], Vec3::Y);
+        assert_eq!(q.normals()[0], Vec3::X);
+        assert_eq!(q.total_area(), 4.0);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.total_area(), 8.0);
+    }
+
+    #[test]
+    fn transform_rotates_normals_without_translating_them() {
+        let mut q = sample();
+        let t = RigidTransform::translation(Vec3::new(5.0, 0.0, 0.0))
+            * RigidTransform::rotation(Vec3::Z, std::f64::consts::FRAC_PI_2);
+        q.transform(&t);
+        // position X -> rotated to Y, then translated
+        assert!((q.positions()[0] - Vec3::new(5.0, 1.0, 0.0)).norm() < 1e-12);
+        // normal X -> Y (no translation)
+        assert!((q.normals()[0] - Vec3::Y).norm() < 1e-12);
+        // normals stay unit length, weights unchanged
+        assert!((q.normals()[0].norm() - 1.0).abs() < 1e-12);
+        assert_eq!(q.weights()[0], 1.5);
+    }
+
+    #[test]
+    fn bounding_box_tight() {
+        let q = sample();
+        let b = q.bounding_box();
+        assert_eq!(b.min, Vec3::ZERO);
+        assert_eq!(b.max, Vec3::new(1.0, 1.0, 0.0));
+    }
+}

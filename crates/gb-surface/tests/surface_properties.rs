@@ -1,0 +1,106 @@
+//! Property-based tests of the surface sampler: invariants that must hold
+//! for arbitrary small molecules, not just the hand-picked unit cases.
+
+use gb_molecule::{Atom, Element, Molecule};
+use gb_geom::Vec3;
+use gb_surface::{sample_surface, SurfaceParams};
+use proptest::prelude::*;
+
+fn arb_molecule() -> impl Strategy<Value = Molecule> {
+    prop::collection::vec(
+        (
+            (-8.0f64..8.0, -8.0f64..8.0, -8.0f64..8.0),
+            1.1f64..2.0,  // vdW radius
+            -0.8f64..0.8, // charge
+        ),
+        1..25,
+    )
+    .prop_map(|atoms| {
+        Molecule::from_atoms(
+            "prop",
+            atoms.into_iter().map(|((x, y, z), r, q)| {
+                Atom::new(Vec3::new(x, y, z), r, q, Element::Carbon)
+            }),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn surviving_points_are_never_buried(mol in arb_molecule()) {
+        let params = SurfaceParams::exact_spheres();
+        let q = sample_surface(&mol, &params);
+        for k in 0..q.len() {
+            let p = q.positions()[k];
+            for (i, (&c, &r)) in
+                mol.positions().iter().zip(mol.radii()).enumerate()
+            {
+                let d = p.dist(c);
+                prop_assert!(
+                    d >= r - 1e-6,
+                    "point {k} strictly inside atom {i}: d={d}, r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weights_positive_normals_unit(mol in arb_molecule()) {
+        let q = sample_surface(&mol, &SurfaceParams::default());
+        for k in 0..q.len() {
+            prop_assert!(q.weights()[k] > 0.0);
+            prop_assert!((q.normals()[k].norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn area_bounded_by_sphere_sum_and_by_largest_sphere(mol in arb_molecule()) {
+        let params = SurfaceParams::exact_spheres();
+        let q = sample_surface(&mol, &params);
+        let area = q.total_area();
+        let sum: f64 = mol
+            .radii()
+            .iter()
+            .map(|r| 4.0 * std::f64::consts::PI * r * r)
+            .sum();
+        prop_assert!(area <= sum * (1.0 + 1e-9), "area {area} > sphere sum {sum}");
+        prop_assert!(area >= 0.0);
+        // a single atom can never be fully buried by itself: a lone atom's
+        // area equals its sphere exactly (checked in unit tests); here we
+        // only require non-degeneracy for non-empty molecules
+        prop_assert!(mol.is_empty() || area > 0.0);
+    }
+
+    #[test]
+    fn points_sit_on_their_probe_inflated_spheres(mol in arb_molecule()) {
+        let params = SurfaceParams::default(); // probe 0.8
+        let q = sample_surface(&mol, &params);
+        for k in 0..q.len() {
+            let p = q.positions()[k];
+            // each point lies on *some* atom's inflated sphere
+            let on_any = mol.positions().iter().zip(mol.radii()).any(|(&c, &r)| {
+                (p.dist(c) - (r + params.probe_radius)).abs() < 1e-6
+            });
+            prop_assert!(on_any, "point {k} floats in space");
+        }
+    }
+
+    #[test]
+    fn translation_equivariance(mol in arb_molecule(), dx in -50.0f64..50.0) {
+        // translating the molecule translates the quadrature set exactly
+        // (the tessellation template is orientation-fixed but position-free)
+        let params = SurfaceParams::exact_spheres();
+        let q0 = sample_surface(&mol, &params);
+        let shift = Vec3::new(dx, -dx * 0.5, dx * 0.25);
+        let moved = mol.transformed(&gb_geom::RigidTransform::translation(shift));
+        let q1 = sample_surface(&moved, &params);
+        prop_assert_eq!(q0.len(), q1.len());
+        for k in 0..q0.len() {
+            prop_assert!((q0.positions()[k] + shift - q1.positions()[k]).norm() < 1e-9);
+            prop_assert!((q0.normals()[k] - q1.normals()[k]).norm() < 1e-12);
+            prop_assert!((q0.weights()[k] - q1.weights()[k]).abs() < 1e-12);
+        }
+    }
+}

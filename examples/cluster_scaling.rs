@@ -1,0 +1,77 @@
+//! Cluster scaling study — a miniature of the paper's Figs. 5/6: modeled
+//! running time and speedup of `OCT_MPI` (pure distributed) vs
+//! `OCT_MPI+CILK` (hybrid) as compute nodes are added.
+//!
+//! ```text
+//! cargo run --release --example cluster_scaling [n_atoms] [max_nodes]
+//! ```
+
+use gb_polarize::prelude::*;
+
+fn main() {
+    let n_atoms: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let max_nodes: usize =
+        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(12);
+
+    // A virus-shell workload, the geometry of the paper's BTV/CMV runs.
+    println!("generating a {n_atoms}-atom virus shell...");
+    let molecule = virus_shell(n_atoms, 4, None);
+    let system = GbSystem::prepare(molecule, GbParams::default());
+    println!(
+        "  {} atoms, {} quadrature points\n",
+        system.num_atoms(),
+        system.num_qpoints()
+    );
+
+    let cost = CostModel::default();
+    println!(
+        "{:>6} {:>7} | {:>14} {:>9} | {:>14} {:>9}",
+        "nodes", "cores", "OCT_MPI (ms)", "speedup", "HYBRID (ms)", "speedup"
+    );
+
+    let mut base_mpi = None;
+    let mut base_hyb = None;
+    let mut nodes = 1;
+    while nodes <= max_nodes {
+        let cluster = SimCluster::lonestar4(nodes);
+        let cores = nodes * 12;
+
+        // OCT_MPI: 12 single-thread ranks per node.
+        let mpi = modeled_run(&system, &cluster, cores, 1, WorkDivision::NodeNode);
+        let t_mpi = mpi.modeled_seconds(&cost) * 1e3;
+
+        // OCT_MPI+CILK: 2 ranks x 6 threads per node.
+        let hyb = modeled_run(&system, &cluster, nodes * 2, 6, WorkDivision::NodeNode);
+        let t_hyb = hyb.modeled_seconds(&cost) * 1e3;
+
+        let b_mpi = *base_mpi.get_or_insert(t_mpi);
+        let b_hyb = *base_hyb.get_or_insert(t_hyb);
+        println!(
+            "{:>6} {:>7} | {:>14.2} {:>9.2} | {:>14.2} {:>9.2}",
+            nodes,
+            cores,
+            t_mpi,
+            b_mpi / t_mpi,
+            t_hyb,
+            b_hyb / t_hyb
+        );
+        assert!(
+            (mpi.result.energy_kcal - hyb.result.energy_kcal).abs()
+                < 1e-9 * mpi.result.energy_kcal.abs(),
+            "both configurations compute the same energy"
+        );
+        nodes *= 2;
+    }
+
+    // Memory story (paper §V-B): replicated bytes per node.
+    let cluster = SimCluster::lonestar4(1);
+    let mpi = modeled_run(&system, &cluster, 12, 1, WorkDivision::NodeNode);
+    let hyb = modeled_run(&system, &cluster, 2, 6, WorkDivision::NodeNode);
+    println!(
+        "\nper-node replicated memory: OCT_MPI {:.2} GB vs hybrid {:.2} GB ({:.2}x)",
+        mpi.report.node_working_sets()[0] / 1e9,
+        hyb.report.node_working_sets()[0] / 1e9,
+        mpi.report.node_working_sets()[0] / hyb.report.node_working_sets()[0]
+    );
+}

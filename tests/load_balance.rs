@@ -1,0 +1,94 @@
+//! Cross-rank load-balancing policies (paper §VI future work): the policy
+//! must never change the numbers, only the schedule.
+
+use gb_polarize::core::balance::LoadBalance;
+use gb_polarize::core::modeled::modeled_run_balanced;
+use gb_polarize::geom::{RigidTransform, Vec3};
+use gb_polarize::prelude::*;
+
+/// A deliberately lopsided system: dense receptor + a small far-away ligand
+/// (some octree leaves are packed, others nearly empty).
+fn lopsided_system() -> GbSystem {
+    let mut receptor = synthesize_protein(&SyntheticParams::with_atoms(1_500, 61));
+    let ligand = synthesize_protein(&SyntheticParams::with_atoms(150, 62));
+    let shift = receptor.bounding_box().circumradius() * 3.0;
+    receptor.merge(&ligand.transformed(&RigidTransform::translation(Vec3::new(shift, 0.0, 0.0))));
+    GbSystem::prepare(receptor, GbParams::default())
+}
+
+const POLICIES: [LoadBalance; 3] =
+    [LoadBalance::EvenLeaves, LoadBalance::BalancedLeaves, LoadBalance::CrossRankStealing];
+
+#[test]
+fn policies_never_change_the_result() {
+    let sys = lopsided_system();
+    let cluster = SimCluster::single_node();
+    let reference =
+        modeled_run_balanced(&sys, &cluster, 12, 1, WorkDivision::NodeNode, POLICIES[0]);
+    for policy in &POLICIES[1..] {
+        let out = modeled_run_balanced(&sys, &cluster, 12, 1, WorkDivision::NodeNode, *policy);
+        assert_eq!(
+            out.result.energy_kcal, reference.result.energy_kcal,
+            "{policy:?} changed the energy"
+        );
+        assert_eq!(out.result.born_radii, reference.result.born_radii);
+    }
+}
+
+#[test]
+fn stealing_balances_best_on_lopsided_input() {
+    let sys = lopsided_system();
+    let cluster = SimCluster::lonestar4(2);
+    let imbalance_of = |policy| {
+        modeled_run_balanced(&sys, &cluster, 24, 1, WorkDivision::NodeNode, policy)
+            .report
+            .imbalance()
+    };
+    let even = imbalance_of(LoadBalance::EvenLeaves);
+    let steal = imbalance_of(LoadBalance::CrossRankStealing);
+    assert!(even > 1.1, "test workload should actually be imbalanced: {even}");
+    assert!(
+        steal < even,
+        "stealing {steal} should improve on static even division {even}"
+    );
+    assert!(steal < 1.15, "stealing should get close to perfect balance: {steal}");
+}
+
+#[test]
+fn stealing_records_migrations_and_their_cost() {
+    let sys = lopsided_system();
+    let cluster = SimCluster::lonestar4(2);
+    let out = modeled_run_balanced(
+        &sys,
+        &cluster,
+        24,
+        1,
+        WorkDivision::NodeNode,
+        LoadBalance::CrossRankStealing,
+    );
+    assert!(out.report.total_steals() > 0, "expected cross-rank migrations");
+    // migrations carry modeled communication cost on top of the collectives
+    let even = modeled_run_balanced(
+        &sys,
+        &cluster,
+        24,
+        1,
+        WorkDivision::NodeNode,
+        LoadBalance::EvenLeaves,
+    );
+    let steal_comm: f64 = out.report.ledgers.iter().map(|l| l.comm_seconds).sum();
+    let even_comm: f64 = even.report.ledgers.iter().map(|l| l.comm_seconds).sum();
+    assert!(steal_comm > even_comm, "migration cost must be visible: {steal_comm} vs {even_comm}");
+}
+
+#[test]
+fn default_modeled_run_is_even_leaves() {
+    let sys = lopsided_system();
+    let cluster = SimCluster::single_node();
+    let a = gb_polarize::modeled_run(&sys, &cluster, 6, 2, WorkDivision::NodeNode);
+    let b = modeled_run_balanced(&sys, &cluster, 6, 2, WorkDivision::NodeNode, LoadBalance::EvenLeaves);
+    assert_eq!(a.result.energy_kcal, b.result.energy_kcal);
+    let wa: Vec<f64> = a.report.ledgers.iter().map(|l| l.work_units).collect();
+    let wb: Vec<f64> = b.report.ledgers.iter().map(|l| l.work_units).collect();
+    assert_eq!(wa, wb);
+}
