@@ -80,10 +80,10 @@ impl SimCluster {
             (0..ranks).map(|_| (0..ranks).map(|_| None).collect()).collect();
         for from in 0..ranks {
             let mut row = Vec::with_capacity(ranks);
-            for to in 0..ranks {
+            for to_row in receivers.iter_mut() {
                 let (s, r) = unbounded();
                 row.push(s);
-                receivers[to][from] = Some(r);
+                to_row[from] = Some(r);
             }
             senders.push(row);
         }

@@ -39,6 +39,40 @@ pub struct ChargeBins {
     /// underestimate does not translate into a one-sided energy bias), so
     /// the default follows the paper. See the `bin_placement` tests.
     pub bin_radius: Vec<f64>,
+    /// CSR offsets into `nz_charge`/`nz_radius`, one slot per node plus a
+    /// terminator: node `U`'s nonzero histogram entries live at
+    /// `nz_off[U]..nz_off[U+1]`.
+    nz_off: Vec<u32>,
+    /// Nonzero histogram charges, per node, in ascending bin order.
+    nz_charge: Vec<f64>,
+    /// Representative radius of each entry in `nz_charge`.
+    nz_radius: Vec<f64>,
+}
+
+/// Compacts per-node histograms into CSR lists of their nonzero entries
+/// (ascending bin order), so the far-field contraction iterates exactly the
+/// pairs it charges work for instead of testing `== 0.0` inside the loop.
+fn nonzero_lists(
+    hist: &[f64],
+    num_bins: usize,
+    bin_radius: &[f64],
+) -> (Vec<u32>, Vec<f64>, Vec<f64>) {
+    let n_nodes = hist.len() / num_bins;
+    let mut nz_off = Vec::with_capacity(n_nodes + 1);
+    let mut nz_charge = Vec::new();
+    let mut nz_radius = Vec::new();
+    nz_off.push(0u32);
+    for node in 0..n_nodes {
+        let row = &hist[node * num_bins..(node + 1) * num_bins];
+        for (k, &q) in row.iter().enumerate() {
+            if q != 0.0 {
+                nz_charge.push(q);
+                nz_radius.push(bin_radius[k]);
+            }
+        }
+        nz_off.push(nz_charge.len() as u32);
+    }
+    (nz_off, nz_charge, nz_radius)
 }
 
 /// Bin geometry shared by the replicated and distributed builders.
@@ -119,7 +153,8 @@ impl ChargeBins {
                 }
             }
         }
-        ChargeBins { r_min, log_base, num_bins, hist, bin_radius }
+        let (nz_off, nz_charge, nz_radius) = nonzero_lists(&hist, num_bins, &bin_radius);
+        ChargeBins { r_min, log_base, num_bins, hist, bin_radius, nz_off, nz_charge, nz_radius }
     }
 
     /// Distributed builder: every rank contributes only its own atoms'
@@ -179,7 +214,8 @@ impl ChargeBins {
                 }
             }
         }
-        ChargeBins { r_min, log_base, num_bins, hist, bin_radius }
+        let (nz_off, nz_charge, nz_radius) = nonzero_lists(&hist, num_bins, &bin_radius);
+        ChargeBins { r_min, log_base, num_bins, hist, bin_radius, nz_off, nz_charge, nz_radius }
     }
 
     /// Histogram of one node.
@@ -187,6 +223,21 @@ impl ChargeBins {
     pub fn node_hist(&self, node: u32) -> &[f64] {
         let base = node as usize * self.num_bins;
         &self.hist[base..base + self.num_bins]
+    }
+
+    /// Nonzero histogram entries of one node as `(charges, radii)` parallel
+    /// slices in ascending bin order — the far-field contraction's operand.
+    #[inline(always)]
+    pub fn node_nonzero(&self, node: u32) -> (&[f64], &[f64]) {
+        let lo = self.nz_off[node as usize] as usize;
+        let hi = self.nz_off[node as usize + 1] as usize;
+        (&self.nz_charge[lo..hi], &self.nz_radius[lo..hi])
+    }
+
+    /// Number of nonzero histogram entries of one node.
+    #[inline(always)]
+    pub fn num_nonzero(&self, node: u32) -> usize {
+        (self.nz_off[node as usize + 1] - self.nz_off[node as usize]) as usize
     }
 
     /// Bin index of a Born radius.
@@ -197,7 +248,9 @@ impl ChargeBins {
 
     /// Memory footprint of the histograms in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.hist.capacity() * std::mem::size_of::<f64>()
+        (self.hist.capacity() + self.nz_charge.capacity() + self.nz_radius.capacity())
+            * std::mem::size_of::<f64>()
+            + self.nz_off.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -272,6 +325,27 @@ mod tests {
         let strict = ChargeBins::compute(&strict_params, &radii);
         assert!(loose.num_bins <= strict.num_bins);
         assert!(strict.num_bins >= 2);
+    }
+
+    #[test]
+    fn nonzero_lists_match_histograms() {
+        let (sys, radii) = system_with_radii(350);
+        let bins = ChargeBins::compute(&sys, &radii);
+        for id in 0..sys.ta.num_nodes() as u32 {
+            let hist = bins.node_hist(id);
+            let (qs, rs) = bins.node_nonzero(id);
+            let want: Vec<(f64, f64)> = hist
+                .iter()
+                .enumerate()
+                .filter(|&(_, &q)| q != 0.0)
+                .map(|(k, &q)| (q, bins.bin_radius[k]))
+                .collect();
+            assert_eq!(bins.num_nonzero(id), want.len(), "node {id}");
+            for (i, &(q, r)) in want.iter().enumerate() {
+                assert_eq!(qs[i], q, "node {id} entry {i}");
+                assert_eq!(rs[i], r, "node {id} entry {i}");
+            }
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub fn energy_for_leaf<M: MathMode>(
 ) -> (f64, f64) {
     let ta = &sys.ta;
     let v = ta.node(v_leaf);
-    let v_hist = bins.node_hist(v_leaf);
+    let (v_nzq, v_nzr) = bins.node_nonzero(v_leaf);
     let mac = sys.params.energy_mac_factor();
     let mut raw = 0.0;
     let mut work = 0.0;
@@ -60,22 +60,17 @@ pub fn energy_for_leaf<M: MathMode>(
         } else {
             let d = u.centroid.dist(v.centroid);
             if d > (u.radius + v.radius) * mac {
-                // Far field: histogram contraction.
-                let u_hist = bins.node_hist(u_id);
+                // Far field: histogram contraction over precompacted
+                // nonzero entries (ascending bin order, so the term order
+                // matches the dense zero-skipping loop bit for bit).
+                let (u_nzq, u_nzr) = bins.node_nonzero(u_id);
                 let d_sq = d * d;
-                for (i, &qu) in u_hist.iter().enumerate() {
-                    if qu == 0.0 {
-                        continue;
-                    }
-                    let ri = bins.bin_radius[i];
-                    for (j, &qv) in v_hist.iter().enumerate() {
-                        if qv == 0.0 {
-                            continue;
-                        }
-                        raw += qu * qv * inv_f_gb::<M>(d_sq, ri * bins.bin_radius[j]);
-                        work += 1.0;
+                for (&qu, &ri) in u_nzq.iter().zip(u_nzr) {
+                    for (&qv, &rj) in v_nzq.iter().zip(v_nzr) {
+                        raw += qu * qv * inv_f_gb::<M>(d_sq, ri * rj);
                     }
                 }
+                work += (u_nzq.len() * v_nzq.len()) as f64;
             } else {
                 stack.extend(u.children());
             }

@@ -217,6 +217,20 @@ pub fn push_integrals_to_atoms<K: RadiiApprox>(
     radii_tree: &mut [f64],
 ) -> f64 {
     assert_eq!(radii_tree.len(), sys.num_atoms());
+    let out = &mut radii_tree[range.clone()];
+    push_integrals_into::<K>(sys, acc, range, out)
+}
+
+/// [`push_integrals_to_atoms`] writing into a buffer sized for the range
+/// alone (`out[i]` = radius of tree position `range.start + i`), so chunked
+/// callers need no full-length scratch vector per chunk.
+pub fn push_integrals_into<K: RadiiApprox>(
+    sys: &GbSystem,
+    acc: &IntegralAcc,
+    range: std::ops::Range<usize>,
+    out: &mut [f64],
+) -> f64 {
+    assert_eq!(out.len(), range.len());
     if sys.ta.is_empty() {
         return 0.0;
     }
@@ -235,7 +249,7 @@ pub fn push_integrals_to_atoms<K: RadiiApprox>(
             let hi = n.end as usize;
             for pos in lo.max(range.start)..hi.min(range.end) {
                 let s = here + acc.atom_s[pos];
-                radii_tree[pos] = K::radius(s, sys.vdw_tree[pos], sys.born_cap);
+                out[pos - range.start] = K::radius(s, sys.vdw_tree[pos], sys.born_cap);
                 work += 1.0;
             }
         } else {

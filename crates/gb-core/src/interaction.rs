@@ -1,0 +1,726 @@
+//! Dual-tree interaction lists: the traversal/execution split.
+//!
+//! The paper's two hot phases are *per-leaf tree traversals*: every `T_Q`
+//! leaf walks `T_A` from the root (`APPROX-INTEGRALS`, Fig. 2) and every
+//! `T_A` leaf walks `T_A` again (`APPROX-EPOL`, Fig. 3). The traversal
+//! *decisions* (well-separated / exact / recurse) depend only on node
+//! geometry, so they can be made once for whole groups of driving leaves
+//! by a single **dual-tree walk** over node pairs, leaving behind flat
+//! interaction lists:
+//!
+//! * far list — `(a_node, q_leaf)` pairs evaluated through pseudo-particles,
+//! * near list — `(a_leaf, q_leaf)` pairs evaluated exactly.
+//!
+//! Execution then streams the lists with branch-free batched kernels over
+//! the struct-of-arrays point mirrors in [`GbSystem`] — no pointer chasing,
+//! no per-pair acceptance test, and inner loops the compiler vectorizes.
+//!
+//! **Semantics are preserved exactly.** The walk only groups leaves when a
+//! conservative certificate (triangle inequality plus a `1e-9` relative
+//! margin, far larger than f64 rounding) proves every leaf in the group
+//! would take the same branch as the original per-leaf traversal; ambiguous
+//! pairs descend the driving tree until the group is a single leaf, where
+//! the *original floating-point test* decides. Hence the pair sets are
+//! identical to the traversal's, far-field terms are evaluated by the same
+//! expressions in the same per-accumulator order (fixed list order ⇒ fixed
+//! reduction order ⇒ determinism), and the per-leaf work units — replicated
+//! via a resolved-pop step count — match the traversal's bit for bit. Only
+//! the exact leaf–leaf kernels regroup floating-point sums (four-way
+//! accumulators + FMA), a reassociation bounded well below the 1e-12
+//! relative band the validation suite checks.
+
+use crate::bins::ChargeBins;
+use crate::fastmath::MathMode;
+use crate::gbmath::{inv_f_gb, RadiiApprox};
+use crate::integrals::{well_separated, IntegralAcc, TRAVERSAL_UNIT};
+use crate::system::GbSystem;
+use gb_octree::{LeafSpans, Node, NodeId, Octree};
+use std::ops::Range;
+
+/// Relative safety margin of the walk's grouping certificates. Orders of
+/// magnitude above f64 rounding error, so a certified decision can never
+/// disagree with the per-leaf floating-point test it stands in for; pairs
+/// inside the margin band simply descend and decide exactly.
+const MARGIN: f64 = 1e-9;
+
+/// A list emission recorded during a walk: the interacting node, applied to
+/// the contiguous run `[span_start, span_end)` of driving-leaf ordinals.
+type Emit = (u32, u32, NodeId);
+
+/// Expands span emissions into a CSR layout grouped by driving-leaf
+/// ordinal: `data[off[ord]..off[ord+1]]` lists the partner nodes of leaf
+/// `ord`, in walk emission order.
+fn expand_csr(nleaves: usize, emits: &[Emit]) -> (Vec<usize>, Vec<NodeId>) {
+    let mut diff = vec![0i64; nleaves + 1];
+    for &(s, e, _) in emits {
+        diff[s as usize] += 1;
+        diff[e as usize] -= 1;
+    }
+    let mut off = Vec::with_capacity(nleaves + 1);
+    let mut run = 0i64;
+    let mut total = 0usize;
+    for d in diff.iter().take(nleaves) {
+        off.push(total);
+        run += d;
+        total += run as usize;
+    }
+    off.push(total);
+    let mut data = vec![0 as NodeId; total];
+    let mut cursor: Vec<usize> = off[..nleaves].to_vec();
+    for &(s, e, id) in emits {
+        for ord in s as usize..e as usize {
+            data[cursor[ord]] = id;
+            cursor[ord] += 1;
+        }
+    }
+    (off, data)
+}
+
+/// Prefix-sums a diff array of per-ordinal traversal-step counts.
+fn prefix_steps(nleaves: usize, sdiff: &[i64]) -> Vec<f64> {
+    let mut steps = Vec::with_capacity(nleaves);
+    let mut run = 0i64;
+    for d in sdiff.iter().take(nleaves) {
+        run += d;
+        steps.push(run as f64);
+    }
+    steps
+}
+
+/// How a popped node pair resolves in a dual-tree walk.
+enum Resolve {
+    /// Every driving leaf in the span is well separated from the node.
+    Far,
+    /// Every driving leaf in the span fails separation: exact if the node
+    /// is a leaf, otherwise descend the node.
+    NearOrDescend,
+    /// Ambiguous — split the driving span by descending the driving node.
+    DescendDriver,
+}
+
+// ---------------------------------------------------------------------------
+// Born phase (Fig. 2): (T_A, T_Q) lists
+// ---------------------------------------------------------------------------
+
+/// Interaction lists of the Born phase: for every `T_Q` leaf ordinal, the
+/// `T_A` nodes it interacts with far (pseudo-particle term) and near
+/// (exact leaf–leaf sum), plus the per-leaf work units the equivalent
+/// traversal would report.
+#[derive(Clone, Debug)]
+pub struct BornLists {
+    far_off: Vec<usize>,
+    far: Vec<NodeId>,
+    near_off: Vec<usize>,
+    near: Vec<NodeId>,
+    leaf_work: Vec<f64>,
+    /// Work spent constructing the lists (one traversal unit per walk pop).
+    pub build_work: f64,
+}
+
+impl BornLists {
+    /// Runs the dual-tree walk over `(T_A root, T_Q root)`.
+    pub fn build(sys: &GbSystem) -> BornLists {
+        let nleaves = sys.tq.num_leaves();
+        if sys.ta.is_empty() || sys.tq.is_empty() {
+            return BornLists {
+                far_off: vec![0; nleaves + 1],
+                far: Vec::new(),
+                near_off: vec![0; nleaves + 1],
+                near: Vec::new(),
+                leaf_work: vec![0.0; nleaves],
+                build_work: 0.0,
+            };
+        }
+        let spans = LeafSpans::compute(&sys.tq);
+        let threshold = sys.params.radii_mac_threshold();
+        // well_separated(d, ra, rq, t)  ⇔  d ≥ (ra + rq)(t+1)/(t−1)
+        let coef = (threshold + 1.0) / (threshold - 1.0);
+
+        let mut far_emits: Vec<Emit> = Vec::new();
+        let mut near_emits: Vec<Emit> = Vec::new();
+        let mut sdiff = vec![0i64; nleaves + 1];
+        let mut build_work = 0.0;
+        let mut stack: Vec<(NodeId, NodeId)> = vec![(Octree::ROOT, Octree::ROOT)];
+        while let Some((a_id, q_id)) = stack.pop() {
+            build_work += TRAVERSAL_UNIT;
+            let a = sys.ta.node(a_id);
+            let q = sys.tq.node(q_id);
+            let d = a.centroid.dist(q.centroid);
+            let span = spans.span(q_id);
+            let (s, e) = (span.start as u32, span.end as u32);
+
+            let resolve = if q.is_leaf() {
+                // single driving leaf: the original test decides, bit for bit
+                if well_separated(d, a.radius, q.radius, threshold) {
+                    Resolve::Far
+                } else {
+                    Resolve::NearOrDescend
+                }
+            } else {
+                // every leaf centroid under q lies within q.radius of
+                // q.centroid, so per-leaf distances span [d−r_q, d+r_q]
+                let need_hi = coef * (a.radius + spans.max_leaf_radius[q_id as usize]);
+                if d - q.radius > need_hi + MARGIN * (need_hi + d) {
+                    Resolve::Far
+                } else {
+                    let need_lo = coef * (a.radius + spans.min_leaf_radius[q_id as usize]);
+                    if d + q.radius < need_lo - MARGIN * (need_lo + d) {
+                        Resolve::NearOrDescend
+                    } else {
+                        Resolve::DescendDriver
+                    }
+                }
+            };
+            match resolve {
+                Resolve::Far => {
+                    sdiff[s as usize] += 1;
+                    sdiff[e as usize] -= 1;
+                    far_emits.push((s, e, a_id));
+                }
+                Resolve::NearOrDescend => {
+                    sdiff[s as usize] += 1;
+                    sdiff[e as usize] -= 1;
+                    if a.is_leaf() {
+                        near_emits.push((s, e, a_id));
+                    } else {
+                        for c in a.children() {
+                            stack.push((c, q_id));
+                        }
+                    }
+                }
+                Resolve::DescendDriver => {
+                    // not a resolved pop: the leaves' own pops of `a` are
+                    // accounted when each child pair resolves
+                    for qc in q.children() {
+                        stack.push((a_id, qc));
+                    }
+                }
+            }
+        }
+
+        let (far_off, far) = expand_csr(nleaves, &far_emits);
+        let (near_off, near) = expand_csr(nleaves, &near_emits);
+        let steps = prefix_steps(nleaves, &sdiff);
+        // Reconstruct the traversal's per-leaf work units: ¼ per popped
+        // node, 1 per far term, |A|·|Q| per exact pair. All terms are
+        // multiples of ¼ well below 2^52, so the sum is exact and equals
+        // `accumulate_qleaf`'s incremental tally bit for bit.
+        let mut leaf_work = Vec::with_capacity(nleaves);
+        for ord in 0..nleaves {
+            let q_count = sys.tq.node(sys.tq.leaves()[ord]).count() as f64;
+            let mut near_pairs = 0.0;
+            for &a_id in &near[near_off[ord]..near_off[ord + 1]] {
+                near_pairs += sys.ta.node(a_id).count() as f64 * q_count;
+            }
+            leaf_work.push(
+                TRAVERSAL_UNIT * steps[ord] + (far_off[ord + 1] - far_off[ord]) as f64
+                    + near_pairs,
+            );
+        }
+        BornLists { far_off, far, near_off, near, leaf_work, build_work }
+    }
+
+    /// Number of driving `T_Q` leaves.
+    #[inline]
+    pub fn num_qleaves(&self) -> usize {
+        self.leaf_work.len()
+    }
+
+    /// Per-`T_Q`-leaf work units of executing its lists — identical to the
+    /// work `accumulate_qleaf` would report for that leaf.
+    #[inline]
+    pub fn leaf_work(&self) -> &[f64] {
+        &self.leaf_work
+    }
+
+    /// Total execution work over all leaves.
+    pub fn total_work(&self) -> f64 {
+        self.leaf_work.iter().sum()
+    }
+
+    /// Executes the lists of the driving-leaf ordinals in `ords`,
+    /// accumulating into `acc` exactly where the traversal would (far terms
+    /// at `node_s[a]`, exact sums at `atom_s`). Returns the work units.
+    pub fn execute_range<M: MathMode, K: RadiiApprox>(
+        &self,
+        sys: &GbSystem,
+        ords: Range<usize>,
+        acc: &mut IntegralAcc,
+    ) -> f64 {
+        let mut work = 0.0;
+        for ord in ords {
+            let q_leaf = sys.tq.leaves()[ord];
+            let qn = sys.tq.node(q_leaf);
+            let q_center = qn.centroid;
+            let q_agg = sys.q_normals[q_leaf as usize];
+            for &a_id in &self.far[self.far_off[ord]..self.far_off[ord + 1]] {
+                let a = sys.ta.node(a_id);
+                let delta = q_center - a.centroid;
+                let d2 = delta.norm_sq();
+                acc.node_s[a_id as usize] += q_agg.dot(delta) * K::integrand::<M>(d2);
+            }
+            // Near list: adjacent leaves in the list cover contiguous atom
+            // ranges (leaf order is tree order), so coalesce runs into one
+            // long span each — the batched kernel then streams thousands of
+            // atoms per call instead of a handful per tiny leaf.
+            let qr = qn.range();
+            let qx = &sys.q_soa.x[qr.clone()];
+            let qy = &sys.q_soa.y[qr.clone()];
+            let qz = &sys.q_soa.z[qr.clone()];
+            let nx = &sys.q_normal_soa.x[qr.clone()];
+            let ny = &sys.q_normal_soa.y[qr.clone()];
+            let nz = &sys.q_normal_soa.z[qr.clone()];
+            let w = &sys.q_weight_tree[qr];
+            let entries = &self.near[self.near_off[ord]..self.near_off[ord + 1]];
+            let mut i = 0usize;
+            while i < entries.len() {
+                let first = sys.ta.node(entries[i]);
+                let start = first.begin as usize;
+                let mut end = first.end as usize;
+                i += 1;
+                while i < entries.len() {
+                    let n = sys.ta.node(entries[i]);
+                    if n.begin as usize == end {
+                        end = n.end as usize;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                born_span_batched::<M, K>(sys, start..end, qx, qy, qz, nx, ny, nz, w, acc);
+            }
+            work += self.leaf_work[ord];
+        }
+        work
+    }
+
+    /// Heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        (self.far_off.capacity() + self.near_off.capacity()) * std::mem::size_of::<usize>()
+            + (self.far.capacity() + self.near.capacity()) * std::mem::size_of::<NodeId>()
+            + self.leaf_work.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Exact Born-integral sum of one coalesced atom span against one `T_Q`
+/// leaf's pre-sliced struct-of-arrays streams. Quadrature leaves hold only
+/// a handful of points, so the *atom* dimension is the long one: per
+/// q-point, the loop streams the span's SoA coordinates with FMA-fused
+/// distance/dot products and a branch-free coincident-point select,
+/// autovectorizing over atoms (the per-lane `1/r⁶` divisions pipeline
+/// across SIMD lanes instead of serializing per scalar term).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn born_span_batched<M: MathMode, K: RadiiApprox>(
+    sys: &GbSystem,
+    atoms: Range<usize>,
+    qx: &[f64],
+    qy: &[f64],
+    qz: &[f64],
+    nx: &[f64],
+    ny: &[f64],
+    nz: &[f64],
+    w: &[f64],
+    acc: &mut IntegralAcc,
+) {
+    let ax = &sys.a_soa.x[atoms.clone()];
+    let ay = &sys.a_soa.y[atoms.clone()];
+    let az = &sys.a_soa.z[atoms.clone()];
+    let out = &mut acc.atom_s[atoms];
+    for k in 0..qx.len() {
+        let (px, py, pz) = (qx[k], qy[k], qz[k]);
+        let (mx, my, mz) = (nx[k], ny[k], nz[k]);
+        let wk = w[k];
+        for i in 0..out.len() {
+            let dx = px - ax[i];
+            let dy = py - ay[i];
+            let dz = pz - az[i];
+            let d2 = dz.mul_add(dz, dy.mul_add(dy, dx * dx));
+            let dot = dz.mul_add(mz, dy.mul_add(my, dx * mx));
+            // evaluate the integrand at a safe stand-in when d2 == 0 so the
+            // masked-out lane never manufactures 0·∞ = NaN
+            let d2s = if d2 > 0.0 { d2 } else { 1.0 };
+            let t = wk * dot * K::integrand::<M>(d2s);
+            out[i] += if d2 > 0.0 { t } else { 0.0 };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Energy phase (Fig. 3): (T_A, T_A) lists
+// ---------------------------------------------------------------------------
+
+/// Interaction lists of the energy phase: for every `T_A` leaf ordinal `V`,
+/// the leaf partners evaluated exactly and the internal-node partners
+/// evaluated by histogram contraction, plus the traversal-step and
+/// exact-pair work the equivalent traversal would report. Far-pair work
+/// depends on the charge histograms (known only after the Born radii), so
+/// it is computed at execution time / by [`EnergyLists::leaf_costs`].
+#[derive(Clone, Debug)]
+pub struct EnergyLists {
+    near_off: Vec<usize>,
+    /// `T_A` leaf partners (Fig. 3 rule: a leaf `U` is always exact).
+    near: Vec<NodeId>,
+    far_off: Vec<usize>,
+    /// Internal `T_A` nodes that passed the far test for every `V` in span.
+    far: Vec<NodeId>,
+    /// Per-ordinal traversal pop count of the equivalent per-leaf walk.
+    trav_steps: Vec<f64>,
+    /// Per-ordinal exact-pair work `Σ |U|·|V|` over the near list.
+    near_work: Vec<f64>,
+    /// Work spent constructing the lists (one traversal unit per walk pop).
+    pub build_work: f64,
+}
+
+impl EnergyLists {
+    /// Runs the dual-tree walk over `(T_A root, T_A root)`; the second
+    /// component drives (it stands for the `V` leaves of Fig. 3).
+    pub fn build(sys: &GbSystem) -> EnergyLists {
+        let nleaves = sys.ta.num_leaves();
+        if sys.ta.is_empty() {
+            return EnergyLists {
+                near_off: vec![0; nleaves + 1],
+                near: Vec::new(),
+                far_off: vec![0; nleaves + 1],
+                far: Vec::new(),
+                trav_steps: vec![0.0; nleaves],
+                near_work: vec![0.0; nleaves],
+                build_work: 0.0,
+            };
+        }
+        let spans = LeafSpans::compute(&sys.ta);
+        let mac = sys.params.energy_mac_factor();
+
+        let mut near_emits: Vec<Emit> = Vec::new();
+        let mut far_emits: Vec<Emit> = Vec::new();
+        let mut sdiff = vec![0i64; nleaves + 1];
+        let mut build_work = 0.0;
+        let mut stack: Vec<(NodeId, NodeId)> = vec![(Octree::ROOT, Octree::ROOT)];
+        while let Some((u_id, v_id)) = stack.pop() {
+            build_work += TRAVERSAL_UNIT;
+            let u = sys.ta.node(u_id);
+            let v = sys.ta.node(v_id);
+            let span = spans.span(v_id);
+            let (s, e) = (span.start as u32, span.end as u32);
+
+            if u.is_leaf() {
+                // Fig. 3 checks leafness *before* distance: leaf–leaf pairs
+                // are always exact, independent of V — resolve the whole span
+                sdiff[s as usize] += 1;
+                sdiff[e as usize] -= 1;
+                near_emits.push((s, e, u_id));
+                continue;
+            }
+            let d = u.centroid.dist(v.centroid);
+            let resolve = if v.is_leaf() {
+                if d > (u.radius + v.radius) * mac {
+                    Resolve::Far
+                } else {
+                    Resolve::NearOrDescend
+                }
+            } else {
+                let need_hi = mac * (u.radius + spans.max_leaf_radius[v_id as usize]);
+                if d - v.radius > need_hi + MARGIN * (need_hi + d) {
+                    Resolve::Far
+                } else {
+                    let need_lo = mac * (u.radius + spans.min_leaf_radius[v_id as usize]);
+                    if d + v.radius < need_lo - MARGIN * (need_lo + d) {
+                        Resolve::NearOrDescend
+                    } else {
+                        Resolve::DescendDriver
+                    }
+                }
+            };
+            match resolve {
+                Resolve::Far => {
+                    sdiff[s as usize] += 1;
+                    sdiff[e as usize] -= 1;
+                    far_emits.push((s, e, u_id));
+                }
+                Resolve::NearOrDescend => {
+                    // u is internal here (leaves resolved above): descend u
+                    sdiff[s as usize] += 1;
+                    sdiff[e as usize] -= 1;
+                    for c in u.children() {
+                        stack.push((c, v_id));
+                    }
+                }
+                Resolve::DescendDriver => {
+                    for vc in v.children() {
+                        stack.push((u_id, vc));
+                    }
+                }
+            }
+        }
+
+        let (near_off, near) = expand_csr(nleaves, &near_emits);
+        let (far_off, far) = expand_csr(nleaves, &far_emits);
+        let trav_steps = prefix_steps(nleaves, &sdiff);
+        let mut near_work = Vec::with_capacity(nleaves);
+        for ord in 0..nleaves {
+            let v_count = sys.ta.node(sys.ta.leaves()[ord]).count() as f64;
+            let mut pairs = 0.0;
+            for &u_id in &near[near_off[ord]..near_off[ord + 1]] {
+                pairs += sys.ta.node(u_id).count() as f64 * v_count;
+            }
+            near_work.push(pairs);
+        }
+        EnergyLists { near_off, near, far_off, far, trav_steps, near_work, build_work }
+    }
+
+    /// Number of driving `T_A` leaves.
+    #[inline]
+    pub fn num_vleaves(&self) -> usize {
+        self.trav_steps.len()
+    }
+
+    /// Executes the lists of driving-leaf ordinal `ord`: exact partners via
+    /// the batched kernel, then far partners via histogram contraction over
+    /// the precompacted nonzero bins. Returns `(raw_energy, work_units)`;
+    /// the work matches `energy_for_leaf`'s tally bit for bit.
+    pub fn execute_leaf<M: MathMode>(
+        &self,
+        sys: &GbSystem,
+        bins: &ChargeBins,
+        radii_tree: &[f64],
+        ord: usize,
+    ) -> (f64, f64) {
+        let v_leaf = sys.ta.leaves()[ord];
+        let v = sys.ta.node(v_leaf);
+        let mut raw = 0.0;
+        let mut work = TRAVERSAL_UNIT * self.trav_steps[ord] + self.near_work[ord];
+        for &u_id in &self.near[self.near_off[ord]..self.near_off[ord + 1]] {
+            raw += energy_pair_batched::<M>(sys, radii_tree, sys.ta.node(u_id), v);
+        }
+        let (v_nzq, v_nzr) = bins.node_nonzero(v_leaf);
+        for &u_id in &self.far[self.far_off[ord]..self.far_off[ord + 1]] {
+            let u = sys.ta.node(u_id);
+            let d = u.centroid.dist(v.centroid);
+            let d_sq = d * d;
+            let (u_nzq, u_nzr) = bins.node_nonzero(u_id);
+            for (&qu, &ri) in u_nzq.iter().zip(u_nzr) {
+                for (&qv, &rj) in v_nzq.iter().zip(v_nzr) {
+                    raw += qu * qv * inv_f_gb::<M>(d_sq, ri * rj);
+                }
+            }
+            work += (u_nzq.len() * v_nzq.len()) as f64;
+        }
+        (raw, work)
+    }
+
+    /// Executes a contiguous run of driving-leaf ordinals, summing raw
+    /// energies in ordinal order (the runners' shared reduction order).
+    pub fn execute_leaves<M: MathMode>(
+        &self,
+        sys: &GbSystem,
+        bins: &ChargeBins,
+        radii_tree: &[f64],
+        ords: Range<usize>,
+    ) -> (f64, f64) {
+        let mut raw = 0.0;
+        let mut work = 0.0;
+        for ord in ords {
+            let (r, w) = self.execute_leaf::<M>(sys, bins, radii_tree, ord);
+            raw += r;
+            work += w;
+        }
+        (raw, work)
+    }
+
+    /// Exact per-ordinal execution work given the charge histograms —
+    /// what [`EnergyLists::execute_leaf`] will report, computed up front so
+    /// ranks can partition the ordinals by measured work.
+    pub fn leaf_costs(&self, sys: &GbSystem, bins: &ChargeBins) -> Vec<f64> {
+        (0..self.num_vleaves())
+            .map(|ord| {
+                let v_nnz = bins.num_nonzero(sys.ta.leaves()[ord]) as f64;
+                let far_nnz: f64 = self.far[self.far_off[ord]..self.far_off[ord + 1]]
+                    .iter()
+                    .map(|&u| bins.num_nonzero(u) as f64)
+                    .sum();
+                TRAVERSAL_UNIT * self.trav_steps[ord] + self.near_work[ord] + far_nnz * v_nnz
+            })
+            .collect()
+    }
+
+    /// Heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        (self.far_off.capacity() + self.near_off.capacity()) * std::mem::size_of::<usize>()
+            + (self.far.capacity() + self.near.capacity()) * std::mem::size_of::<NodeId>()
+            + (self.trav_steps.capacity() + self.near_work.capacity())
+                * std::mem::size_of::<f64>()
+    }
+}
+
+/// Exact energy sum of one ordered `(U leaf, V leaf)` pair over the
+/// struct-of-arrays atom streams, four-way accumulated. No zero-distance
+/// guard: `f_GB(0, R_u R_v) = √(R_u R_v)` is finite and the self terms are
+/// part of Eq. 2.
+#[inline]
+fn energy_pair_batched<M: MathMode>(
+    sys: &GbSystem,
+    radii_tree: &[f64],
+    u: &Node,
+    v: &Node,
+) -> f64 {
+    let vr = v.range();
+    let vx = &sys.a_soa.x[vr.clone()];
+    let vy = &sys.a_soa.y[vr.clone()];
+    let vz = &sys.a_soa.z[vr.clone()];
+    let vq = &sys.charge_tree[vr.clone()];
+    let vb = &radii_tree[vr];
+    let m = vx.len();
+    let mut raw = 0.0;
+    for ui in u.range() {
+        let (ux, uy, uz) = (sys.a_soa.x[ui], sys.a_soa.y[ui], sys.a_soa.z[ui]);
+        let qu = sys.charge_tree[ui];
+        let ru = radii_tree[ui];
+        let term = |k: usize| -> f64 {
+            let dx = vx[k] - ux;
+            let dy = vy[k] - uy;
+            let dz = vz[k] - uz;
+            let r_sq = dz.mul_add(dz, dy.mul_add(dy, dx * dx));
+            vq[k] * inv_f_gb::<M>(r_sq, ru * vb[k])
+        };
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        let mut k = 0usize;
+        while k + 4 <= m {
+            s0 += term(k);
+            s1 += term(k + 1);
+            s2 += term(k + 2);
+            s3 += term(k + 3);
+            k += 4;
+        }
+        while k < m {
+            s0 += term(k);
+            k += 1;
+        }
+        raw += qu * ((s0 + s1) + (s2 + s3));
+    }
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::energy_for_leaf;
+    use crate::fastmath::{ApproxMath, ExactMath};
+    use crate::gbmath::{R4, R6};
+    use crate::integrals::{accumulate_qleaf, push_integrals_to_atoms};
+    use crate::params::GbParams;
+    use gb_molecule::{synthesize_protein, SyntheticParams};
+
+    fn system(n: usize) -> GbSystem {
+        let mol = synthesize_protein(&SyntheticParams::with_atoms(n, 17));
+        GbSystem::prepare(mol, GbParams::default())
+    }
+
+    fn close(x: f64, y: f64) -> bool {
+        (x - y).abs() <= 1e-12 * x.abs().max(y.abs()).max(1.0)
+    }
+
+    #[test]
+    fn born_list_execution_matches_traversal() {
+        for n in [1usize, 9, 350] {
+            let sys = system(n);
+            let lists = BornLists::build(&sys);
+            assert_eq!(lists.num_qleaves(), sys.tq.num_leaves());
+
+            let mut acc_t = IntegralAcc::zeros(&sys);
+            let mut stack = Vec::new();
+            let mut works = Vec::with_capacity(sys.tq.num_leaves());
+            for &q in sys.tq.leaves() {
+                works.push(accumulate_qleaf::<ExactMath, R6>(&sys, q, &mut acc_t, &mut stack));
+            }
+
+            let mut acc_l = IntegralAcc::zeros(&sys);
+            let w = lists.execute_range::<ExactMath, R6>(&sys, 0..lists.num_qleaves(), &mut acc_l);
+
+            // work replication is exact, per leaf and in total
+            for (ord, &wt) in works.iter().enumerate() {
+                assert_eq!(lists.leaf_work()[ord], wt, "n={n} ord={ord}");
+            }
+            assert_eq!(w, lists.total_work(), "n={n}");
+            assert!(lists.build_work > 0.0);
+
+            // far terms are bitwise identical; exact sums within reassociation
+            for (i, (x, y)) in acc_t.node_s.iter().zip(&acc_l.node_s).enumerate() {
+                assert!(close(*x, *y), "n={n} node_s[{i}]: {x} vs {y}");
+            }
+            for (i, (x, y)) in acc_t.atom_s.iter().zip(&acc_l.atom_s).enumerate() {
+                assert!(close(*x, *y), "n={n} atom_s[{i}]: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_list_execution_matches_traversal() {
+        for n in [1usize, 9, 350] {
+            let sys = system(n);
+            let mut acc = IntegralAcc::zeros(&sys);
+            let mut stack = Vec::new();
+            for &q in sys.tq.leaves() {
+                accumulate_qleaf::<ExactMath, R6>(&sys, q, &mut acc, &mut stack);
+            }
+            let mut radii_tree = vec![0.0; sys.num_atoms()];
+            push_integrals_to_atoms::<R6>(&sys, &acc, 0..sys.num_atoms(), &mut radii_tree);
+            let bins = ChargeBins::compute(&sys, &radii_tree);
+
+            let lists = EnergyLists::build(&sys);
+            assert_eq!(lists.num_vleaves(), sys.ta.num_leaves());
+            let costs = lists.leaf_costs(&sys, &bins);
+            let mut stack = Vec::new();
+            for (ord, &v) in sys.ta.leaves().iter().enumerate() {
+                let (rt, wt) = energy_for_leaf::<ExactMath>(&sys, &bins, &radii_tree, v, &mut stack);
+                let (rl, wl) = lists.execute_leaf::<ExactMath>(&sys, &bins, &radii_tree, ord);
+                assert_eq!(wl, wt, "n={n} ord={ord}: work");
+                assert_eq!(costs[ord], wl, "n={n} ord={ord}: cost model");
+                assert!(close(rt, rl), "n={n} ord={ord}: raw {rt} vs {rl}");
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_math_paths_agree_too() {
+        let sys = system(200);
+        let lists = BornLists::build(&sys);
+        let mut acc_t = IntegralAcc::zeros(&sys);
+        let mut stack = Vec::new();
+        for &q in sys.tq.leaves() {
+            accumulate_qleaf::<ApproxMath, R4>(&sys, q, &mut acc_t, &mut stack);
+        }
+        let mut acc_l = IntegralAcc::zeros(&sys);
+        lists.execute_range::<ApproxMath, R4>(&sys, 0..lists.num_qleaves(), &mut acc_l);
+        for (x, y) in acc_t.atom_s.iter().zip(&acc_l.atom_s) {
+            assert!(close(*x, *y), "{x} vs {y}");
+        }
+        for (x, y) in acc_t.node_s.iter().zip(&acc_l.node_s) {
+            assert!(close(*x, *y), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn split_execution_equals_whole_execution() {
+        // list execution over disjoint ordinal ranges merges to the same
+        // accumulators (disjoint far slots; atom sums added leaf-by-leaf)
+        let sys = system(300);
+        let lists = BornLists::build(&sys);
+        let n = lists.num_qleaves();
+        let mut whole = IntegralAcc::zeros(&sys);
+        let w_whole = lists.execute_range::<ExactMath, R6>(&sys, 0..n, &mut whole);
+        let mut parts = IntegralAcc::zeros(&sys);
+        let mut w_parts = 0.0;
+        for seg in crate::workdiv::work_balanced_segments(lists.leaf_work(), 5) {
+            let mut local = IntegralAcc::zeros(&sys);
+            w_parts += lists.execute_range::<ExactMath, R6>(&sys, seg, &mut local);
+            parts.add(&local);
+        }
+        assert_eq!(w_whole, w_parts);
+        for (x, y) in whole.node_s.iter().zip(&parts.node_s) {
+            assert!(close(*x, *y), "{x} vs {y}");
+        }
+        for (x, y) in whole.atom_s.iter().zip(&parts.atom_s) {
+            assert!(close(*x, *y), "{x} vs {y}");
+        }
+    }
+}

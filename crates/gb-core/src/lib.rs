@@ -50,6 +50,7 @@ pub mod error;
 pub mod fastmath;
 pub mod gbmath;
 pub mod integrals;
+pub mod interaction;
 pub mod modeled;
 pub mod naive;
 pub mod params;
@@ -58,6 +59,7 @@ pub mod system;
 pub mod workdiv;
 
 pub use error::{percent_error, ErrorStats};
+pub use interaction::{BornLists, EnergyLists};
 pub use gbmath::COULOMB_KCAL;
 pub use params::{GbParams, MathKind, RadiiKind};
 pub use system::{GbResult, GbSystem};

@@ -15,10 +15,10 @@
 //! curves for 432 simulated cores are produced in the time of one run.
 
 use crate::balance::{assign, LoadBalance};
-use crate::energy::energy_for_leaf;
 use crate::fastmath::{ApproxMath, ExactMath, MathMode};
 use crate::gbmath::{finalize_energy, RadiiApprox, R4, R6};
-use crate::integrals::{accumulate_qleaf, push_integrals_to_atoms, IntegralAcc};
+use crate::integrals::{push_integrals_to_atoms, IntegralAcc};
+use crate::interaction::{BornLists, EnergyLists};
 use crate::params::{MathKind, RadiiKind};
 use crate::runners::{bin_build_work, bins_for, with_kernels};
 use crate::system::{GbResult, GbSystem};
@@ -96,21 +96,20 @@ fn modeled_run_impl<M: MathMode, K: RadiiApprox>(
 
     // ---- Born phase: every rank's T_Q leaf segment, into one global acc.
     let mut acc = IntegralAcc::zeros(sys);
-    let mut stack = Vec::new();
     match division {
         WorkDivision::NodeNode => {
-            // measure every leaf task once, then let the policy assign them
-            let leaf_works: Vec<f64> = sys
-                .tq
-                .leaves()
-                .iter()
-                .map(|&q| accumulate_qleaf::<M, K>(sys, q, &mut acc, &mut stack))
-                .collect();
+            // one list build gives the exact per-leaf task works for the
+            // policy to assign; executing the full ordinal range into one
+            // accumulator reproduces the serial runner bit for bit
+            let born = BornLists::build(sys);
+            born.execute_range::<M, K>(sys, 0..born.num_qleaves(), &mut acc);
+            let leaf_works = born.leaf_work().to_vec();
             let leaf_points: Vec<usize> =
                 sys.tq.leaves().iter().map(|&q| sys.tq.node(q).count()).collect();
             // a migrated quadrature leaf ships position+normal+weight = 7 words/point
             let a = assign(policy, &leaf_works, &leaf_points, ranks, cost, level, 7);
             for (rank, ledger) in ledgers.iter_mut().enumerate() {
+                ledger.add_work(born.build_work / threads_per_rank as f64);
                 ledger.add_work(
                     (a.rank_work[rank] / threads_per_rank as f64).max(a.rank_max_task[rank]),
                 );
@@ -124,9 +123,10 @@ fn modeled_run_impl<M: MathMode, K: RadiiApprox>(
             }
         }
         WorkDivision::AtomNode => {
-            for rank in 0..ranks {
+            let mut stack = Vec::new();
+            let segments = atom_segments(sys.num_atoms(), ranks);
+            for (ledger, range) in ledgers.iter_mut().zip(segments) {
                 // atom-based: rank processes all leaves clipped to its atoms
-                let range = atom_segments(sys.num_atoms(), ranks)[rank].clone();
                 let mut leaf_works = Vec::with_capacity(sys.tq.num_leaves());
                 for &q in sys.tq.leaves() {
                     leaf_works.push(
@@ -139,7 +139,6 @@ fn modeled_run_impl<M: MathMode, K: RadiiApprox>(
                         ),
                     );
                 }
-                let ledger = &mut ledgers[rank];
                 ledger.add_work(makespan(&leaf_works, threads_per_rank));
                 ledger.record_replicated(replicated);
             }
@@ -177,9 +176,10 @@ fn modeled_run_impl<M: MathMode, K: RadiiApprox>(
     let bins_bytes = bins.memory_bytes() as u64;
     let mut raw = 0.0;
     {
-        let mut leaf_works = Vec::with_capacity(sys.ta.num_leaves());
-        for &v in sys.ta.leaves() {
-            let (r, w) = energy_for_leaf::<M>(sys, &bins, &radii_tree, v, &mut stack);
+        let energy = EnergyLists::build(sys);
+        let mut leaf_works = Vec::with_capacity(energy.num_vleaves());
+        for ord in 0..energy.num_vleaves() {
+            let (r, w) = energy.execute_leaf::<M>(sys, &bins, &radii_tree, ord);
             raw += r;
             leaf_works.push(w);
         }
@@ -188,6 +188,7 @@ fn modeled_run_impl<M: MathMode, K: RadiiApprox>(
         let a = assign(policy, &leaf_works, &leaf_points, ranks, cost, level, 5);
         for (rank, ledger) in ledgers.iter_mut().enumerate() {
             ledger.add_work(bin_build_work(sys) / threads_per_rank as f64);
+            ledger.add_work(energy.build_work / threads_per_rank as f64);
             ledger.add_work(
                 (a.rank_work[rank] / threads_per_rank as f64).max(a.rank_max_task[rank]),
             );

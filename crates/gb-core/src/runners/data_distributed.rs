@@ -159,9 +159,9 @@ fn halo_exchange(
     let p = comm.size();
     let me = comm.rank();
     // 1) send request lists to every peer (empty allowed)
-    for peer in 0..p {
+    for (peer, needed) in needed_by_owner.iter().enumerate() {
         if peer != me {
-            let req: Vec<f64> = needed_by_owner[peer].iter().map(|&l| l as f64).collect();
+            let req: Vec<f64> = needed.iter().map(|&l| l as f64).collect();
             comm.send_f64(peer, req);
         }
     }

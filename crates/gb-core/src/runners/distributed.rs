@@ -5,7 +5,9 @@
 //! 1. hold a replicated copy of the system (octrees, surface, molecule) —
 //!    accounted via `record_replicated`;
 //! 2. `APPROX-INTEGRALS` for this rank's segment of `T_Q` leaves
-//!    (node-based division) or atoms (atom-based);
+//!    (node-based division, executed from the replicated interaction lists
+//!    with rank boundaries balanced by measured list work) or atoms
+//!    (atom-based, traversal with range clipping);
 //! 3. `MPI_Allreduce` of the partial integral vector;
 //! 4. `PUSH-INTEGRALS-TO-ATOMS` for this rank's atom segment;
 //! 5. allgather of the Born radii;
@@ -15,11 +17,12 @@
 use crate::energy::energy_for_leaves;
 use crate::fastmath::{ApproxMath, ExactMath, MathMode};
 use crate::gbmath::{finalize_energy, RadiiApprox, R4, R6};
-use crate::integrals::{accumulate_qleaf, push_integrals_to_atoms, IntegralAcc};
+use crate::integrals::{push_integrals_into, IntegralAcc};
+use crate::interaction::{BornLists, EnergyLists};
 use crate::params::{MathKind, RadiiKind};
 use crate::runners::{bin_build_work, bins_for, with_kernels};
 use crate::system::{GbResult, GbSystem};
-use crate::workdiv::{atom_segments, leaf_segments, WorkDivision};
+use crate::workdiv::{atom_segments, work_balanced_segments, WorkDivision};
 use gb_cluster::{Comm, RunReport, SimCluster};
 
 /// Runs the 7-step distributed algorithm on `ranks` single-threaded ranks.
@@ -58,16 +61,19 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
 
     // Step 2: partial integrals for this rank's share.
     let mut acc = IntegralAcc::zeros(sys);
-    let mut stack = Vec::new();
     let mut work = 0.0;
     match division {
         WorkDivision::NodeNode => {
-            let seg = leaf_segments(&sys.tq, p).swap_remove(rank);
-            for &q in &sys.tq.leaves()[seg] {
-                work += accumulate_qleaf::<M, K>(sys, q, &mut acc, &mut stack);
-            }
+            // Replicated preprocessing: every rank performs the same dual-tree
+            // walk (like the bin build), so segments agree without
+            // communication, and ranks are cut by *measured* list work.
+            let born = BornLists::build(sys);
+            work += born.build_work;
+            let seg = work_balanced_segments(born.leaf_work(), p).swap_remove(rank);
+            work += born.execute_range::<M, K>(sys, seg, &mut acc);
         }
         WorkDivision::AtomNode => {
+            let mut stack = Vec::new();
             // Atom-based division: every rank processes *all* T_Q leaves but
             // clips the T_A traversal to its atom range (see
             // `accumulate_qleaf_clipped`): far-field terms are only taken at
@@ -88,20 +94,18 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
     let acc = IntegralAcc::from_flat(&flat, sys.ta.num_nodes());
     drop(flat);
 
-    // Step 4: Born radii for this rank's atom segment.
+    // Step 4: Born radii for this rank's atom segment, written into a
+    // buffer sized for the segment alone (no full-length scratch).
     let my_atoms = atom_segments(sys.num_atoms(), p).swap_remove(rank);
-    let mut radii_tree = vec![0.0; sys.num_atoms()];
-    let w = push_integrals_to_atoms::<K>(sys, &acc, my_atoms.clone(), &mut radii_tree);
+    let mut local = vec![0.0; my_atoms.len()];
+    let w = push_integrals_into::<K>(sys, &acc, my_atoms, &mut local);
     comm.record_work(w);
 
     // Step 5: allgather radii (variable-length segments, rank order ==
     // atom-segment order, so concatenation is the full tree-order vector).
-    let radii_tree = {
-        let local = &radii_tree[my_atoms];
-        let gathered = comm.allgatherv(local);
-        debug_assert_eq!(gathered.len(), sys.num_atoms());
-        gathered
-    };
+    let radii_tree = comm.allgatherv(&local);
+    debug_assert_eq!(radii_tree.len(), sys.num_atoms());
+    drop(local);
 
     // Step 6: partial energy for this rank's T_A leaf segment. Bins are
     // recomputed locally from the (replicated) radii instead of being
@@ -110,8 +114,11 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
     comm.record_work(bin_build_work(sys));
     let (raw, w) = match division {
         WorkDivision::NodeNode => {
-            let seg = leaf_segments(&sys.ta, p).swap_remove(rank);
-            energy_for_leaves::<M>(sys, &bins, &radii_tree, &sys.ta.leaves()[seg])
+            let energy = EnergyLists::build(sys);
+            let costs = energy.leaf_costs(sys, &bins);
+            let seg = work_balanced_segments(&costs, p).swap_remove(rank);
+            let (raw, exec) = energy.execute_leaves::<M>(sys, &bins, &radii_tree, seg);
+            (raw, energy.build_work + exec)
         }
         WorkDivision::AtomNode => {
             let range = atom_segments(sys.num_atoms(), p).swap_remove(rank);

@@ -8,14 +8,14 @@
 //! Worker partials merge in worker order, so the rank's contribution — and
 //! therefore the final energy — is identical to the distributed runner's.
 
-use crate::energy::energy_for_leaf;
 use crate::fastmath::{ApproxMath, ExactMath, MathMode};
 use crate::gbmath::{finalize_energy, RadiiApprox, R4, R6};
-use crate::integrals::{accumulate_qleaf, push_integrals_to_atoms, IntegralAcc};
+use crate::integrals::{push_integrals_into, IntegralAcc};
+use crate::interaction::{BornLists, EnergyLists};
 use crate::params::{MathKind, RadiiKind};
 use crate::runners::{bin_build_work, bins_for, with_kernels};
 use crate::system::{GbResult, GbSystem};
-use crate::workdiv::{atom_segments, leaf_segments, WorkDivision};
+use crate::workdiv::{atom_segments, work_balanced_segments, WorkDivision};
 use gb_cluster::{Comm, RunReport, SimCluster, StealPool};
 use parking_lot::Mutex;
 
@@ -49,33 +49,29 @@ fn hybrid_rank_body<M: MathMode, K: RadiiApprox>(
 
     comm.record_replicated(sys.memory_bytes() as u64);
 
-    // ---- Step 2: integrals over this rank's T_Q leaf segment, one task
-    // per leaf, per-worker accumulators merged in worker order.
-    let my_qleaves: Vec<gb_octree::NodeId> = match division {
-        WorkDivision::NodeNode => {
-            let seg = leaf_segments(&sys.tq, p).swap_remove(rank);
-            sys.tq.leaves()[seg].to_vec()
-        }
-        // Atom-based division is only exercised through the distributed
-        // runner in the paper's ablation; the hybrid runner keeps the
-        // node-based scheme for any division value.
-        WorkDivision::AtomNode => {
-            let seg = leaf_segments(&sys.tq, p).swap_remove(rank);
-            sys.tq.leaves()[seg].to_vec()
-        }
-    };
-    let worker_accs: Vec<Mutex<(IntegralAcc, f64, Vec<gb_octree::NodeId>)>> = (0..pool
-        .workers())
-        .map(|_| Mutex::new((IntegralAcc::zeros(sys), 0.0, Vec::new())))
+    // ---- Step 2: integrals over this rank's driving-leaf segment, one
+    // task per leaf ordinal, per-worker accumulators merged in worker
+    // order. The interaction lists are built once per rank (replicated
+    // preprocessing, like the bins), and the rank boundaries are cut by
+    // measured list work. Atom-based division is only exercised through
+    // the distributed runner in the paper's ablation; the hybrid runner
+    // keeps the node-based scheme for any `division` value.
+    let _ = division;
+    let born = BornLists::build(sys);
+    let seg = work_balanced_segments(born.leaf_work(), p).swap_remove(rank);
+    let worker_accs: Vec<Mutex<(IntegralAcc, f64)>> = (0..pool.workers())
+        .map(|_| Mutex::new((IntegralAcc::zeros(sys), 0.0)))
         .collect();
-    let stats = pool.run(my_qleaves.len(), steal_seed, |wid, task| {
+    let seg_start = seg.start;
+    let stats = pool.run(seg.len(), steal_seed, |wid, task| {
+        let ord = seg_start + task;
         let mut slot = worker_accs[wid].lock();
-        let (acc, work, stack) = &mut *slot;
-        *work += accumulate_qleaf::<M, K>(sys, my_qleaves[task], acc, stack);
+        let (acc, work) = &mut *slot;
+        *work += born.execute_range::<M, K>(sys, ord..ord + 1, acc);
     });
     comm.record_steals(stats.steals);
     let mut acc = IntegralAcc::zeros(sys);
-    let mut work = 0.0;
+    let mut work = born.build_work;
     for slot in &worker_accs {
         let guard = slot.lock();
         acc.add(&guard.0);
@@ -90,46 +86,52 @@ fn hybrid_rank_body<M: MathMode, K: RadiiApprox>(
     let acc = IntegralAcc::from_flat(&flat, sys.ta.num_nodes());
     drop(flat);
 
-    // ---- Step 4: push for this rank's atom segment, split across threads.
+    // ---- Step 4: push for this rank's atom segment, split across
+    // threads, each thread writing into a buffer sized for its own
+    // sub-range (no full-length scratch per worker).
     let my_atoms = atom_segments(sys.num_atoms(), p).swap_remove(rank);
     let sub = crate::workdiv::even_ranges(my_atoms.len(), threads);
-    let push_parts: Vec<Mutex<(Vec<f64>, f64)>> =
-        (0..threads).map(|_| Mutex::new((vec![0.0; sys.num_atoms()], 0.0))).collect();
+    let push_parts: Vec<Mutex<(Vec<f64>, f64)>> = sub
+        .iter()
+        .map(|s| Mutex::new((vec![0.0; s.len()], 0.0)))
+        .collect();
     pool.run(threads, steal_seed ^ 0x9, |_wid, t| {
         let range = my_atoms.start + sub[t].start..my_atoms.start + sub[t].end;
         let mut slot = push_parts[t].lock();
-        let (radii, w) = &mut *slot;
-        *w += push_integrals_to_atoms::<K>(sys, &acc, range, radii);
+        let (values, w) = &mut *slot;
+        *w += push_integrals_into::<K>(sys, &acc, range, values);
     });
-    let mut radii_tree = vec![0.0; sys.num_atoms()];
+    let mut local = vec![0.0; my_atoms.len()];
     for (t, slot) in push_parts.iter().enumerate() {
         let guard = slot.lock();
         comm.record_work(guard.1);
-        let range = my_atoms.start + sub[t].start..my_atoms.start + sub[t].end;
-        radii_tree[range.clone()].copy_from_slice(&guard.0[range]);
+        local[sub[t].clone()].copy_from_slice(&guard.0);
     }
+    drop(push_parts);
 
     // ---- Step 5: allgather radii.
-    let radii_tree = {
-        let local = &radii_tree[my_atoms];
-        comm.allgatherv(local)
-    };
+    let radii_tree = comm.allgatherv(&local);
+    drop(local);
 
-    // ---- Step 6: energy over this rank's T_A leaf segment via the pool.
+    // ---- Step 6: energy over this rank's T_A leaf-ordinal segment via
+    // the pool, boundaries balanced by the precomputed per-leaf list cost.
     let bins = bins_for(sys, &radii_tree);
     comm.record_work(bin_build_work(sys));
-    let seg = leaf_segments(&sys.ta, p).swap_remove(rank);
-    let my_vleaves = &sys.ta.leaves()[seg];
-    let energy_parts: Vec<Mutex<(f64, f64, Vec<gb_octree::NodeId>)>> =
-        (0..pool.workers()).map(|_| Mutex::new((0.0, 0.0, Vec::new()))).collect();
-    let stats = pool.run(my_vleaves.len(), steal_seed ^ 0x77, |wid, task| {
+    let energy = EnergyLists::build(sys);
+    let costs = energy.leaf_costs(sys, &bins);
+    let seg = work_balanced_segments(&costs, p).swap_remove(rank);
+    let energy_parts: Vec<Mutex<(f64, f64)>> =
+        (0..pool.workers()).map(|_| Mutex::new((0.0, 0.0))).collect();
+    let seg_start = seg.start;
+    let stats = pool.run(seg.len(), steal_seed ^ 0x77, |wid, task| {
         let mut slot = energy_parts[wid].lock();
-        let (raw, w, stack) = &mut *slot;
-        let (r, dw) = energy_for_leaf::<M>(sys, &bins, &radii_tree, my_vleaves[task], stack);
+        let (raw, w) = &mut *slot;
+        let (r, dw) = energy.execute_leaf::<M>(sys, &bins, &radii_tree, seg_start + task);
         *raw += r;
         *w += dw;
     });
     comm.record_steals(stats.steals);
+    comm.record_work(energy.build_work);
     let mut raw = 0.0;
     for slot in &energy_parts {
         let guard = slot.lock();

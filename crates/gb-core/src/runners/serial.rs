@@ -1,10 +1,18 @@
 //! The serial octree pipeline — reference implementation and the `P = 1`
 //! baseline of every speedup figure.
+//!
+//! Since the interaction-list refactor the pipeline is *traversal once,
+//! execute lists after*: one dual-tree walk per phase emits flat far/near
+//! lists ([`BornLists`], [`EnergyLists`]) which are then streamed through
+//! the batched leaf kernels. Decisions and work units are identical to the
+//! per-leaf traversals of `integrals`/`energy` (those remain as the
+//! cross-validation oracle); only the exact-kernel summation order changes,
+//! within the 1e-12 band the tests check.
 
-use crate::energy::energy_for_leaves;
 use crate::fastmath::{ApproxMath, ExactMath};
 use crate::gbmath::{finalize_energy, R4, R6};
-use crate::integrals::{accumulate_qleaf, push_integrals_to_atoms, IntegralAcc};
+use crate::integrals::{push_integrals_to_atoms, IntegralAcc};
+use crate::interaction::{BornLists, EnergyLists};
 use crate::params::{MathKind, RadiiKind};
 use crate::runners::{bins_for, with_kernels};
 use crate::system::{GbResult, GbSystem};
@@ -22,20 +30,20 @@ pub struct SerialOutput {
 /// Runs the full serial octree pipeline.
 pub fn run_serial(sys: &GbSystem) -> SerialOutput {
     with_kernels!(sys.params, M, K => {
-        // Born phase: every T_Q leaf against T_A.
+        // Born phase: one dual-tree walk, then stream the lists.
+        let born = BornLists::build(sys);
         let mut acc = IntegralAcc::zeros(sys);
-        let mut stack = Vec::new();
-        let mut born_work = 0.0;
-        for &q in sys.tq.leaves() {
-            born_work += accumulate_qleaf::<M, K>(sys, q, &mut acc, &mut stack);
-        }
+        let mut born_work = born.build_work;
+        born_work += born.execute_range::<M, K>(sys, 0..born.num_qleaves(), &mut acc);
         let mut radii_tree = vec![0.0; sys.num_atoms()];
         born_work += push_integrals_to_atoms::<K>(sys, &acc, 0..sys.num_atoms(), &mut radii_tree);
 
-        // Energy phase.
+        // Energy phase: same split over (T_A, T_A).
+        let energy = EnergyLists::build(sys);
         let bins = bins_for(sys, &radii_tree);
-        let (raw, energy_work) =
-            energy_for_leaves::<M>(sys, &bins, &radii_tree, sys.ta.leaves());
+        let (raw, exec_work) =
+            energy.execute_leaves::<M>(sys, &bins, &radii_tree, 0..energy.num_vleaves());
+        let energy_work = energy.build_work + exec_work;
         let energy_kcal = finalize_energy(raw, sys.params.tau());
 
         SerialOutput {

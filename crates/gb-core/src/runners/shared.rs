@@ -2,23 +2,25 @@
 //! for the cilk++ work-stealing scheduler.
 //!
 //! Parallel structure:
-//! * **Born phase**: the `T_Q` leaf list is cut into `K` contiguous chunks
-//!   (`K ≈ 4 ×` worker count); chunks run in parallel, each into its own
-//!   accumulator, and partials are merged *in chunk order* so the result is
-//!   bitwise deterministic regardless of scheduling.
-//! * **Energy phase**: embarrassingly parallel over `T_A` leaves; per-leaf
-//!   raw sums are collected into a vector and reduced in leaf order
-//!   (deterministic again).
+//! * **Born phase**: the interaction lists are built once (serial walk),
+//!   then the driving-leaf ordinals are cut into `K` contiguous chunks
+//!   (`K ≈ 4 ×` worker count) balanced by the *measured* per-leaf list
+//!   work; chunks execute in parallel, each into its own accumulator, and
+//!   partials are merged *in chunk order* so the result is bitwise
+//!   deterministic regardless of scheduling.
+//! * **Energy phase**: embarrassingly parallel over `T_A` leaf ordinals;
+//!   per-leaf raw sums are collected into a vector and reduced in leaf
+//!   order (deterministic again).
 
-use crate::energy::energy_for_leaf;
 use crate::fastmath::{ApproxMath, ExactMath};
 use crate::gbmath::{finalize_energy, R4, R6};
-use crate::integrals::{accumulate_qleaf, push_integrals_to_atoms, IntegralAcc};
+use crate::integrals::{push_integrals_into, IntegralAcc};
+use crate::interaction::{BornLists, EnergyLists};
 use crate::params::{MathKind, RadiiKind};
 use crate::runners::serial::SerialOutput;
 use crate::runners::{bins_for, with_kernels};
 use crate::system::{GbResult, GbSystem};
-use crate::workdiv::even_ranges;
+use crate::workdiv::{even_ranges, work_balanced_segments};
 use rayon::prelude::*;
 
 /// Runs the shared-memory (rayon) octree pipeline.
@@ -31,39 +33,35 @@ pub fn run_shared(sys: &GbSystem) -> SerialOutput {
         let threads = rayon::current_num_threads().max(1);
         let chunks = (threads * 4).clamp(1, sys.tq.num_leaves().max(1));
 
-        // Born phase: chunked over T_Q leaves.
-        let ranges = even_ranges(sys.tq.num_leaves(), chunks);
+        // Born phase: build lists once, execute chunks balanced by the
+        // exact per-leaf work recorded in the lists.
+        let born = BornLists::build(sys);
+        let ranges = work_balanced_segments(born.leaf_work(), chunks);
         let partials: Vec<(IntegralAcc, f64)> = ranges
             .into_par_iter()
             .map(|range| {
                 let mut acc = IntegralAcc::zeros(sys);
-                let mut stack = Vec::new();
-                let mut work = 0.0;
-                for &q in &sys.tq.leaves()[range] {
-                    work += accumulate_qleaf::<M, K>(sys, q, &mut acc, &mut stack);
-                }
+                let work = born.execute_range::<M, K>(sys, range, &mut acc);
                 (acc, work)
             })
             .collect();
         let mut acc = IntegralAcc::zeros(sys);
-        let mut born_work = 0.0;
+        let mut born_work = born.build_work;
         for (p, w) in &partials {
             acc.add(p);
             born_work += w;
         }
         drop(partials);
 
-        // Push phase: parallel over atom ranges (disjoint output slices
-        // would be nicer, but the radii vector is written once per atom, so
-        // chunked ranges with local buffers merged in order keeps it simple
-        // and deterministic).
+        // Push phase: parallel over atom ranges, each chunk writing into a
+        // buffer sized for its own range (merged in chunk order).
         let atom_ranges = even_ranges(sys.num_atoms(), chunks);
         let radii_parts: Vec<(std::ops::Range<usize>, Vec<f64>, f64)> = atom_ranges
             .into_par_iter()
             .map(|range| {
-                let mut radii_tree = vec![0.0; sys.num_atoms()];
-                let w = push_integrals_to_atoms::<K>(sys, &acc, range.clone(), &mut radii_tree);
-                (range.clone(), radii_tree[range].to_vec(), w)
+                let mut values = vec![0.0; range.len()];
+                let w = push_integrals_into::<K>(sys, &acc, range.clone(), &mut values);
+                (range, values, w)
             })
             .collect();
         let mut radii_tree = vec![0.0; sys.num_atoms()];
@@ -72,18 +70,15 @@ pub fn run_shared(sys: &GbSystem) -> SerialOutput {
             radii_tree[range].copy_from_slice(&values);
         }
 
-        // Energy phase: parallel over T_A leaves, ordered reduction.
+        // Energy phase: parallel over T_A leaf ordinals, ordered reduction.
+        let energy = EnergyLists::build(sys);
         let bins = bins_for(sys, &radii_tree);
-        let per_leaf: Vec<(f64, f64)> = sys
-            .ta
-            .leaves()
-            .par_iter()
-            .map_init(Vec::new, |stack, &v| {
-                energy_for_leaf::<M>(sys, &bins, &radii_tree, v, stack)
-            })
+        let per_leaf: Vec<(f64, f64)> = (0..energy.num_vleaves())
+            .into_par_iter()
+            .map(|ord| energy.execute_leaf::<M>(sys, &bins, &radii_tree, ord))
             .collect();
         let mut raw = 0.0;
-        let mut energy_work = 0.0;
+        let mut energy_work = energy.build_work;
         for (r, w) in per_leaf {
             raw += r;
             energy_work += w;

@@ -9,7 +9,7 @@
 //! every docking pose.
 
 use crate::params::GbParams;
-use gb_geom::Vec3;
+use gb_geom::{Soa3, Vec3};
 use gb_molecule::Molecule;
 use gb_octree::Octree;
 use gb_surface::{sample_surface, QuadraturePoints};
@@ -37,6 +37,13 @@ pub struct GbSystem {
     pub charge_tree: Vec<f64>,
     /// Atom vdW radii permuted to `T_A` tree order.
     pub vdw_tree: Vec<f64>,
+    /// `T_A` tree-order atom positions as three coordinate streams — the
+    /// batched leaf kernels' unit-stride mirror of `ta.points()`.
+    pub a_soa: Soa3,
+    /// `T_Q` tree-order quadrature positions as coordinate streams.
+    pub q_soa: Soa3,
+    /// `T_Q` tree-order quadrature normals as coordinate streams.
+    pub q_normal_soa: Soa3,
     /// Born-radius cap used when an integral degenerates (Å).
     pub born_cap: f64,
 }
@@ -101,6 +108,10 @@ impl GbSystem {
         // the bounding-sphere diameter (effectively "no solvent screening").
         let born_cap = 200.0 * ta.bbox().circumradius().max(1.0);
 
+        let a_soa = Soa3::from_vec3s(ta.points());
+        let q_soa = Soa3::from_vec3s(tq.points());
+        let q_normal_soa = Soa3::from_vec3s(&q_normal_tree);
+
         GbSystem {
             molecule,
             surface,
@@ -112,6 +123,9 @@ impl GbSystem {
             q_weight_tree,
             charge_tree,
             vdw_tree,
+            a_soa,
+            q_soa,
+            q_normal_soa,
             born_cap,
         }
     }
@@ -158,6 +172,9 @@ impl GbSystem {
                 + self.charge_tree.capacity()
                 + self.vdw_tree.capacity())
                 * std::mem::size_of::<f64>()
+            + self.a_soa.memory_bytes()
+            + self.q_soa.memory_bytes()
+            + self.q_normal_soa.memory_bytes()
     }
 }
 
@@ -181,6 +198,16 @@ mod tests {
         sys.tq.validate().unwrap();
         assert_eq!(sys.q_normals.len(), sys.tq.num_nodes());
         assert_eq!(sys.charge_tree.len(), sys.num_atoms());
+        assert_eq!(sys.a_soa.len(), sys.num_atoms());
+        assert_eq!(sys.q_soa.len(), sys.num_qpoints());
+        assert_eq!(sys.q_normal_soa.len(), sys.num_qpoints());
+        for pos in 0..sys.num_atoms() {
+            assert_eq!(sys.a_soa.get(pos), sys.ta.points()[pos]);
+        }
+        for pos in 0..sys.num_qpoints() {
+            assert_eq!(sys.q_soa.get(pos), sys.tq.points()[pos]);
+            assert_eq!(sys.q_normal_soa.get(pos), sys.q_normal_tree[pos]);
+        }
     }
 
     #[test]

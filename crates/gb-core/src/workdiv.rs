@@ -87,6 +87,41 @@ pub fn atom_segments(num_atoms: usize, parts: usize) -> Vec<Range<usize>> {
     even_ranges(num_atoms, parts)
 }
 
+/// Splits `0..works.len()` into `parts` contiguous ranges whose summed
+/// `works` are as even as a greedy prefix cut allows. Used to partition
+/// interaction-list execution by *measured* per-leaf work instead of leaf
+/// count. Every segment is nonempty when `works.len() >= parts`; the
+/// result depends only on `works`, so all ranks computing it from the same
+/// (replicated) lists agree without communication.
+pub fn work_balanced_segments(works: &[f64], parts: usize) -> Vec<Range<usize>> {
+    assert!(parts >= 1);
+    let n = works.len();
+    let total: f64 = works.iter().sum();
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut consumed = 0.0f64;
+    for i in 0..parts {
+        let remaining = parts - i - 1;
+        let end = if remaining == 0 {
+            n // last segment takes everything left
+        } else {
+            // leave at least one item per remaining segment
+            let cap = n.saturating_sub(remaining);
+            let target = total * (i + 1) as f64 / parts as f64;
+            let mut end = start;
+            while end < cap && (end == start || consumed < target) {
+                consumed += works[end];
+                end += 1;
+            }
+            end
+        };
+        out.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +197,46 @@ mod tests {
         let even = spread(&leaf_segments(&t, p));
         let bal = spread(&balanced_leaf_segments(&t, p));
         assert!(bal <= even + 1e-9, "balanced {bal} vs even {even}");
+    }
+
+    #[test]
+    fn work_balanced_segments_partition_and_balance() {
+        let mut rng = DetRng::new(9);
+        let works: Vec<f64> = (0..257).map(|_| rng.f64() * 100.0).collect();
+        let total: f64 = works.iter().sum();
+        for p in [1usize, 2, 3, 7, 16] {
+            let segs = work_balanced_segments(&works, p);
+            assert_eq!(segs.len(), p);
+            let mut cursor = 0;
+            for s in &segs {
+                assert_eq!(s.start, cursor, "p={p}");
+                assert!(!s.is_empty(), "p={p}: empty segment {s:?}");
+                cursor = s.end;
+            }
+            assert_eq!(cursor, works.len(), "p={p}");
+            // no segment exceeds its fair share by more than one item's work
+            let max_item = works.iter().cloned().fold(0.0f64, f64::max);
+            for s in &segs {
+                let load: f64 = works[s.clone()].iter().sum();
+                assert!(load <= total / p as f64 + max_item + 1e-9, "p={p}: load {load}");
+            }
+        }
+    }
+
+    #[test]
+    fn work_balanced_segments_handle_degenerate_inputs() {
+        // fewer items than parts: all items still covered exactly once
+        let segs = work_balanced_segments(&[5.0, 1.0], 4);
+        assert_eq!(segs.len(), 4);
+        assert_eq!(segs.iter().map(|s| s.len()).sum::<usize>(), 2);
+        assert_eq!(segs.last().unwrap().end, 2);
+        // empty input
+        let segs = work_balanced_segments(&[], 3);
+        assert!(segs.iter().all(|s| s.is_empty()));
+        // all-zero work behaves like an even split over indices
+        let segs = work_balanced_segments(&[0.0; 6], 3);
+        assert_eq!(segs.iter().map(|s| s.len()).sum::<usize>(), 6);
+        assert!(segs.iter().all(|s| !s.is_empty()));
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod aabb;
 pub mod mat3;
 pub mod morton;
 pub mod rng;
+pub mod soa;
 pub mod sphere;
 pub mod transform;
 pub mod vec3;
@@ -34,6 +35,7 @@ pub mod vec3;
 pub use aabb::Aabb;
 pub use mat3::Mat3;
 pub use rng::DetRng;
+pub use soa::Soa3;
 pub use sphere::{bounding_sphere_ritter, enclosing_radius_about, Sphere};
 pub use transform::RigidTransform;
 pub use vec3::Vec3;

@@ -1,0 +1,141 @@
+//! Per-node descendant-leaf summaries for dual-tree walks.
+//!
+//! A dual-tree walk visits *(node, node)* pairs and wants to decide an
+//! acceptance test **for every leaf** under one of the nodes without
+//! descending to them. Because the node array is depth-first preorder and
+//! the leaf list is depth-first too, every subtree owns a *contiguous run
+//! of leaf ordinals*; [`LeafSpans`] records that run per node together
+//! with the extreme leaf radii beneath it — the two ingredients of a
+//! conservative "surely separated / surely near" certificate.
+
+use crate::node::NodeId;
+use crate::tree::Octree;
+use std::ops::Range;
+
+/// Per-node span of descendant leaves (ordinals into `tree.leaves()`)
+/// plus min/max enclosing-sphere radius over those leaves.
+#[derive(Clone, Debug)]
+pub struct LeafSpans {
+    /// Ordinal of the first descendant leaf, per node.
+    first: Vec<u32>,
+    /// One past the ordinal of the last descendant leaf, per node.
+    last: Vec<u32>,
+    /// Smallest leaf radius beneath each node.
+    pub min_leaf_radius: Vec<f64>,
+    /// Largest leaf radius beneath each node.
+    pub max_leaf_radius: Vec<f64>,
+}
+
+impl LeafSpans {
+    /// Computes the spans in one reverse sweep over the preorder node
+    /// array (children always follow their parent, so a reverse scan sees
+    /// every child before its parent).
+    pub fn compute(tree: &Octree) -> LeafSpans {
+        let n = tree.num_nodes();
+        let mut first = vec![u32::MAX; n];
+        let mut last = vec![0u32; n];
+        let mut min_r = vec![f64::INFINITY; n];
+        let mut max_r = vec![f64::NEG_INFINITY; n];
+        for (ord, &leaf) in tree.leaves().iter().enumerate() {
+            let i = leaf as usize;
+            first[i] = ord as u32;
+            last[i] = ord as u32 + 1;
+            let r = tree.node(leaf).radius;
+            min_r[i] = r;
+            max_r[i] = r;
+        }
+        for id in (0..n).rev() {
+            let node = tree.node(id as NodeId);
+            if node.is_leaf() {
+                continue;
+            }
+            for c in node.children() {
+                let c = c as usize;
+                first[id] = first[id].min(first[c]);
+                last[id] = last[id].max(last[c]);
+                min_r[id] = min_r[id].min(min_r[c]);
+                max_r[id] = max_r[id].max(max_r[c]);
+            }
+        }
+        LeafSpans { first, last, min_leaf_radius: min_r, max_leaf_radius: max_r }
+    }
+
+    /// Leaf-ordinal range covered by `id`'s subtree.
+    #[inline(always)]
+    pub fn span(&self, id: NodeId) -> Range<usize> {
+        self.first[id as usize] as usize..self.last[id as usize] as usize
+    }
+
+    /// Leaf ordinal of a node that *is* a leaf.
+    #[inline(always)]
+    pub fn ordinal(&self, leaf: NodeId) -> usize {
+        debug_assert_eq!(self.span(leaf).len(), 1);
+        self.first[leaf as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_geom::{DetRng, Vec3};
+
+    fn tree(n: usize, seed: u64) -> Octree {
+        let mut rng = DetRng::new(seed);
+        let pts: Vec<Vec3> = (0..n)
+            .map(|_| Vec3::new(rng.f64_in(-5.0, 5.0), rng.f64_in(-5.0, 5.0), rng.f64_in(-5.0, 5.0)))
+            .collect();
+        Octree::build(&pts, 8)
+    }
+
+    #[test]
+    fn root_span_covers_all_leaves() {
+        for n in [1usize, 9, 400, 2_000] {
+            let t = tree(n, 7);
+            let spans = LeafSpans::compute(&t);
+            assert_eq!(spans.span(Octree::ROOT), 0..t.num_leaves(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn subtree_spans_are_contiguous_and_partition_parent() {
+        let t = tree(1_500, 11);
+        let spans = LeafSpans::compute(&t);
+        for (id, node) in t.nodes().iter().enumerate() {
+            if node.is_leaf() {
+                assert_eq!(spans.span(id as NodeId).len(), 1);
+                continue;
+            }
+            let mut cursor = spans.span(id as NodeId).start;
+            for c in node.children() {
+                let s = spans.span(c);
+                assert_eq!(s.start, cursor, "node {id}: child {c} span gap");
+                cursor = s.end;
+            }
+            assert_eq!(cursor, spans.span(id as NodeId).end, "node {id}");
+        }
+    }
+
+    #[test]
+    fn radius_bounds_cover_descendant_leaves() {
+        let t = tree(900, 5);
+        let spans = LeafSpans::compute(&t);
+        for id in 0..t.num_nodes() {
+            let lo = spans.min_leaf_radius[id];
+            let hi = spans.max_leaf_radius[id];
+            assert!(lo <= hi, "node {id}: {lo} > {hi}");
+            for ord in spans.span(id as NodeId) {
+                let r = t.node(t.leaves()[ord]).radius;
+                assert!(r >= lo && r <= hi, "node {id} leaf ord {ord}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_ordinals_match_leaf_list() {
+        let t = tree(333, 21);
+        let spans = LeafSpans::compute(&t);
+        for (ord, &leaf) in t.leaves().iter().enumerate() {
+            assert_eq!(spans.ordinal(leaf), ord);
+        }
+    }
+}

@@ -32,11 +32,13 @@
 
 mod aggregate;
 mod build;
+mod dualtree;
 mod dynamic;
 mod node;
 mod query;
 mod tree;
 
+pub use dualtree::LeafSpans;
 pub use node::{Node, NodeId, NULL_NODE};
 pub use tree::Octree;
 

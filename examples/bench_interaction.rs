@@ -1,0 +1,96 @@
+//! Perf snapshot of the interaction-list engine vs the per-leaf traversal
+//! on a ~20k-atom synthetic workload, as machine-readable JSON.
+//!
+//! ```text
+//! cargo run --release --example bench_interaction > BENCH_interaction.json
+//! ```
+
+use gb_polarize::core::bins::ChargeBins;
+use gb_polarize::core::energy::energy_for_leaves;
+use gb_polarize::core::fastmath::ExactMath;
+use gb_polarize::core::gbmath::R6;
+use gb_polarize::core::integrals::{accumulate_qleaf, push_integrals_to_atoms, IntegralAcc};
+use gb_polarize::core::{BornLists, EnergyLists};
+use gb_polarize::prelude::*;
+
+/// Best-of-`reps` wall time in milliseconds, plus the run's work units.
+fn timed<F: FnMut() -> f64>(reps: usize, mut f: F) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut work = 0.0;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        work = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, work)
+}
+
+fn main() {
+    let n_atoms: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let reps = 3usize;
+    let mol = synthesize_protein(&SyntheticParams::with_atoms(n_atoms, 4242));
+    let sys = GbSystem::prepare(mol, GbParams::default());
+
+    // ---- Born phase: per-leaf traversal (the seed engine) ...
+    let (trav_ms, trav_work) = timed(reps, || {
+        let mut acc = IntegralAcc::zeros(&sys);
+        let mut stack = Vec::new();
+        let mut work = 0.0;
+        for &q in sys.tq.leaves() {
+            work += accumulate_qleaf::<ExactMath, R6>(&sys, q, &mut acc, &mut stack);
+        }
+        work
+    });
+
+    // ... vs one list build + batched execution
+    let (build_ms, build_work) = timed(reps, || BornLists::build(&sys).build_work);
+    let born = BornLists::build(&sys);
+    let (exec_ms, exec_work) = timed(reps, || {
+        let mut acc = IntegralAcc::zeros(&sys);
+        born.execute_range::<ExactMath, R6>(&sys, 0..born.num_qleaves(), &mut acc)
+    });
+
+    // radii + bins once, for the energy phase
+    let mut acc = IntegralAcc::zeros(&sys);
+    born.execute_range::<ExactMath, R6>(&sys, 0..born.num_qleaves(), &mut acc);
+    let mut radii = vec![0.0; sys.num_atoms()];
+    push_integrals_to_atoms::<R6>(&sys, &acc, 0..sys.num_atoms(), &mut radii);
+    let bins = ChargeBins::compute(&sys, &radii);
+
+    // ---- Energy phase, same comparison
+    let (etrav_ms, etrav_work) =
+        timed(reps, || energy_for_leaves::<ExactMath>(&sys, &bins, &radii, sys.ta.leaves()).1);
+    let (ebuild_ms, ebuild_work) = timed(reps, || EnergyLists::build(&sys).build_work);
+    let energy = EnergyLists::build(&sys);
+    let (eexec_ms, eexec_work) = timed(reps, || {
+        energy.execute_leaves::<ExactMath>(&sys, &bins, &radii, 0..energy.num_vleaves()).1
+    });
+
+    let born_speedup = trav_ms / exec_ms;
+    let energy_speedup = etrav_ms / eexec_ms;
+
+    println!("{{");
+    println!("  \"n_atoms\": {},", sys.num_atoms());
+    println!("  \"n_qpoints\": {},", sys.num_qpoints());
+    println!("  \"reps\": {reps},");
+    println!("  \"born\": {{");
+    println!("    \"traversal_ms\": {trav_ms:.3},");
+    println!("    \"traversal_work_units\": {trav_work:.1},");
+    println!("    \"list_build_ms\": {build_ms:.3},");
+    println!("    \"list_build_work_units\": {build_work:.1},");
+    println!("    \"list_exec_ms\": {exec_ms:.3},");
+    println!("    \"list_exec_work_units\": {exec_work:.1},");
+    println!("    \"exec_speedup_vs_traversal\": {born_speedup:.3}");
+    println!("  }},");
+    println!("  \"energy\": {{");
+    println!("    \"traversal_ms\": {etrav_ms:.3},");
+    println!("    \"traversal_work_units\": {etrav_work:.1},");
+    println!("    \"list_build_ms\": {ebuild_ms:.3},");
+    println!("    \"list_build_work_units\": {ebuild_work:.1},");
+    println!("    \"list_exec_ms\": {eexec_ms:.3},");
+    println!("    \"list_exec_work_units\": {eexec_work:.1},");
+    println!("    \"exec_speedup_vs_traversal\": {energy_speedup:.3}");
+    println!("  }}");
+    println!("}}");
+}

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Full pre-merge check: release build, test suite, lints.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

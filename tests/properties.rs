@@ -1,10 +1,81 @@
 //! Property-based tests (proptest) on the core data structures and the
 //! cross-cutting invariants of the pipeline.
 
+use gb_polarize::core::bins::ChargeBins;
+use gb_polarize::core::energy::energy_for_leaves;
+use gb_polarize::core::fastmath::{ApproxMath, ExactMath, MathMode};
+use gb_polarize::core::gbmath::{RadiiApprox, R4, R6};
+use gb_polarize::core::integrals::{accumulate_qleaf, push_integrals_to_atoms, IntegralAcc};
+use gb_polarize::core::{BornLists, EnergyLists};
 use gb_polarize::geom::{Aabb, Vec3};
 use gb_polarize::octree::Octree;
 use gb_polarize::prelude::*;
 use proptest::prelude::*;
+
+/// Runs one full pipeline twice — per-leaf traversal oracle vs the
+/// interaction-list engine — and returns (max relative radii divergence,
+/// relative raw-energy divergence).
+fn engine_divergence<M: MathMode, K: RadiiApprox>(sys: &GbSystem) -> (f64, f64) {
+    // traversal-driven oracle
+    let mut acc_t = IntegralAcc::zeros(sys);
+    let mut stack = Vec::new();
+    for &q in sys.tq.leaves() {
+        accumulate_qleaf::<M, K>(sys, q, &mut acc_t, &mut stack);
+    }
+    let mut radii_t = vec![0.0; sys.num_atoms()];
+    push_integrals_to_atoms::<K>(sys, &acc_t, 0..sys.num_atoms(), &mut radii_t);
+    let bins_t = ChargeBins::compute(sys, &radii_t);
+    let (raw_t, _) = energy_for_leaves::<M>(sys, &bins_t, &radii_t, sys.ta.leaves());
+
+    // list-driven engine
+    let born = BornLists::build(sys);
+    let mut acc_l = IntegralAcc::zeros(sys);
+    born.execute_range::<M, K>(sys, 0..born.num_qleaves(), &mut acc_l);
+    let mut radii_l = vec![0.0; sys.num_atoms()];
+    push_integrals_to_atoms::<K>(sys, &acc_l, 0..sys.num_atoms(), &mut radii_l);
+    let bins_l = ChargeBins::compute(sys, &radii_l);
+    let energy = EnergyLists::build(sys);
+    let (raw_l, _) =
+        energy.execute_leaves::<M>(sys, &bins_l, &radii_l, 0..energy.num_vleaves());
+
+    let mut dr = 0.0f64;
+    for (a, b) in radii_t.iter().zip(&radii_l) {
+        dr = dr.max((a - b).abs() / a.abs().max(1.0));
+    }
+    let de = (raw_t - raw_l).abs() / raw_t.abs().max(1.0);
+    (dr, de)
+}
+
+fn engine_divergence_for(n: usize, seed: u64, math: MathKind, radii: RadiiKind) -> (f64, f64) {
+    let mol = synthesize_protein(&SyntheticParams::with_atoms(n, seed));
+    let mut params = GbParams::default();
+    params.math = math;
+    params.radii_kind = radii;
+    let sys = GbSystem::prepare(mol, params);
+    match (math, radii) {
+        (MathKind::Exact, RadiiKind::R6) => engine_divergence::<ExactMath, R6>(&sys),
+        (MathKind::Exact, RadiiKind::R4) => engine_divergence::<ExactMath, R4>(&sys),
+        (MathKind::Approximate, RadiiKind::R6) => engine_divergence::<ApproxMath, R6>(&sys),
+        (MathKind::Approximate, RadiiKind::R4) => engine_divergence::<ApproxMath, R4>(&sys),
+    }
+}
+
+#[test]
+fn list_engine_matches_traversal_for_all_kernel_combos() {
+    // deterministic sweep: every MathKind × RadiiKind monomorphization, at
+    // degenerate (1-atom / single-leaf) and multi-level tree sizes
+    for n in [1usize, 2, 25, 400] {
+        for math in [MathKind::Exact, MathKind::Approximate] {
+            for radii in [RadiiKind::R6, RadiiKind::R4] {
+                let (dr, de) = engine_divergence_for(n, 7, math, radii);
+                assert!(
+                    dr < 1e-12 && de < 1e-12,
+                    "n={n} {math:?} {radii:?}: radii {dr:e}, energy {de:e}"
+                );
+            }
+        }
+    }
+}
 
 fn arb_points(max: usize) -> impl Strategy<Value = Vec<Vec3>> {
     prop::collection::vec(
@@ -150,6 +221,20 @@ proptest! {
             prop_assert!(r >= sys.molecule.radii()[i] - 1e-9);
             prop_assert!(r.is_finite());
         }
+    }
+
+    #[test]
+    fn list_engine_matches_traversal_engine(
+        n in 1usize..70,
+        seed in 0u64..500,
+        math_idx in 0usize..2,
+        radii_idx in 0usize..2,
+    ) {
+        let math = if math_idx == 0 { MathKind::Exact } else { MathKind::Approximate };
+        let radii = if radii_idx == 0 { RadiiKind::R6 } else { RadiiKind::R4 };
+        let (dr, de) = engine_divergence_for(n, seed, math, radii);
+        prop_assert!(dr < 1e-12, "radii diverged by {dr:e} (n={n}, {math:?}, {radii:?})");
+        prop_assert!(de < 1e-12, "energy diverged by {de:e} (n={n}, {math:?}, {radii:?})");
     }
 
     #[test]

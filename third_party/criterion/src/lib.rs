@@ -1,0 +1,200 @@
+//! Offline wall-clock stand-in for `criterion`.
+//!
+//! Keeps the bench harness surface the workspace uses — `criterion_group!`/
+//! `criterion_main!`, `benchmark_group`, `sample_size`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`, `Bencher::iter` — but
+//! measures plainly: warm up once, then time `sample_size` samples and
+//! report min/median/mean per iteration on stdout. No statistics engine,
+//! no plots, no baseline persistence; numbers print in a stable
+//! `bench-id ... median` format that scripts can grep.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples when a group does not override it.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Opaquely consumes a value so the optimizer cannot delete the
+/// computation that produced it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier `function_name/parameter` for one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter display.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only id (criterion's `from_parameter`).
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample elapsed times recorded by `iter`.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`: one untimed warm-up call, then `samples` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(id: &str, times: &mut [Duration]) {
+    if times.is_empty() {
+        println!("{id:<48} (closure never called iter)");
+        return;
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    println!(
+        "{id:<48} median {:>12.3?}  mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+        median,
+        mean,
+        times[0],
+        times.len()
+    );
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher { samples, times: Vec::new() };
+    f(&mut b);
+    report(id, &mut b.times);
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Accepted and ignored (criterion API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark without an explicit input.
+    pub fn bench_function<Id: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: Id,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.samples, f);
+        self
+    }
+
+    /// Runs a benchmark with a borrowed input value.
+    pub fn bench_with_input<Id: Display, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: Id,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (separator line for readability).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// The harness entry point; holds no global state in this stand-in.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// criterion API compatibility: CLI args are ignored.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name}");
+        BenchmarkGroup { name, samples: DEFAULT_SAMPLE_SIZE, _criterion: self }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_with_input(BenchmarkId::new("count", 1), &5usize, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                n * 2
+            })
+        });
+        group.finish();
+        // warm-up + 3 samples
+        assert_eq!(calls, 4);
+    }
+}

@@ -1,0 +1,121 @@
+//! Offline stand-in for `crossbeam`, covering the subset the simulated
+//! cluster uses: unbounded MPMC-ish channels (`crossbeam::channel`) and
+//! scoped threads (`crossbeam::thread::scope`). Channels wrap
+//! `std::sync::mpsc` (whose `Sender` has been `Sync` since Rust 1.72, so
+//! sharing a sender matrix behind an `Arc` works); scoped threads wrap
+//! `std::thread::scope` with crossbeam's closure-takes-scope signature.
+
+pub mod channel {
+    //! Unbounded channel with crossbeam's `unbounded()` constructor.
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half; clonable and shareable across threads.
+    #[derive(Debug)]
+    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`; fails only if the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    /// Receiving half; owned by a single thread at a time.
+    #[derive(Debug)]
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = std::sync::mpsc::channel();
+        (Sender(s), Receiver(r))
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's API shape: the spawn closure
+    //! receives the scope (for nested spawns) and `scope` returns a
+    //! `Result` wrapping the closure's value.
+
+    /// Scope handle passed to `scope` and to every spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread, returning its value or its panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread bound to the scope; the closure receives the
+        /// scope so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before this
+    /// returns. Always `Ok` — unjoined-thread panics propagate as panics,
+    /// matching how the workspace uses (and `expect`s) the result.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_roundtrip() {
+        let (s, r) = super::channel::unbounded();
+        s.send(7usize).unwrap();
+        assert_eq!(r.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn scoped_threads_join_and_nest() {
+        let data = vec![1u64, 2, 3];
+        let total = super::thread::scope(|scope| {
+            let h1 = scope.spawn(|inner| {
+                let h2 = inner.spawn(|_| data.iter().sum::<u64>());
+                h2.join().unwrap()
+            });
+            h1.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 6);
+    }
+}

@@ -1,0 +1,301 @@
+//! Offline sampling-only stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! `proptest!` macro (with an optional `#![proptest_config(...)]` header),
+//! `Strategy` with `prop_map`, range strategies for `f64`/`usize`/`u64`/
+//! `u32`/`i64`, tuple strategies, `prop::collection::vec`, and the
+//! `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * **No shrinking** — a failing case reports its values via the assert
+//!   message but is not minimized.
+//! * **Deterministic seeding** — the RNG seed derives from the test's
+//!   module path and name (splitmix64), so runs are reproducible; there is
+//!   no `PROPTEST_CASES`/persistence machinery.
+//!
+//! Both are fine for a CI gate: the tests here check numeric invariants
+//! whose counterexamples are easy to read off directly.
+
+use std::ops::Range;
+
+/// Deterministic splitmix64 generator seeded from the test name.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds from an arbitrary string (FNV-1a folded into splitmix64).
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(h)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53-bit resolution.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// A value generator. Real proptest separates strategies from value trees
+/// (for shrinking); sampling-only needs just `sample`.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                let span = (self.end - self.start) as u64;
+                assert!(span > 0, "empty integer range strategy");
+                self.start + rng.below(span) as $ty
+            }
+        }
+    )*};
+}
+int_range_strategy!(usize, u64, u32, i64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// `prop::collection` etc. — namespaced helpers matching proptest's paths.
+pub mod prop {
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Vec strategy: length uniform in `len`, elements from `elem`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: Range<usize>,
+        }
+
+        /// proptest-compatible constructor.
+        pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.sample(rng);
+                (0..n).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Per-block configuration; only `cases` is honoured.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs each property `cases` times.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Defines `#[test]` functions that sample their arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..cfg.cases {
+                $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!(
+                        "property '{}' failed on case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        cfg.cases,
+                        msg
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Early-returns an `Err` out of the property body when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, with both values in the message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("bounds");
+        for _ in 0..1000 {
+            let x = (1.5f64..2.5).sample(&mut rng);
+            assert!((1.5..2.5).contains(&x));
+            let n = (3usize..17).sample(&mut rng);
+            assert!((3..17).contains(&n));
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = TestRng::from_name("same");
+        let mut b = TestRng::from_name("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_working_tests(
+            v in prop::collection::vec(0.0f64..1.0, 1..20),
+            k in 1usize..5,
+        ) {
+            prop_assert!(!v.is_empty());
+            prop_assert_eq!(k.min(4), k);
+            let mapped = (0u64..10).prop_map(|x| x * 2).sample(
+                &mut TestRng::from_name("inner"),
+            );
+            prop_assert!(mapped % 2 == 0);
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline placeholder for `rand`.
+//!
+//! The workspace declares `rand` as a (dev-)dependency but never imports it:
+//! all randomness flows through `gb_geom::DetRng`, which is deterministic by
+//! design. This crate exists so the workspace resolves without network
+//! access; if code starts using `rand` APIs, extend this stub or vendor the
+//! real crate.

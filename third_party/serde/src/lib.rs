@@ -1,0 +1,16 @@
+//! Offline marker-trait stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of config
+//! and enum types but never feeds them to a serializer (artifact files are
+//! written with hand-rolled formatting). These empty traits keep those
+//! derives compiling without the real serde's data-model machinery. Swap in
+//! the real crate (same manifest entry, registry source) when an actual
+//! serializer is needed.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,48 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the serde stub.
+//!
+//! The workspace's serde traits are empty markers (nothing in the tree
+//! actually serializes), so the derive only has to emit
+//! `impl Serialize for T {}` — no syn/quote needed. The type name is pulled
+//! straight out of the raw token stream: the identifier following the
+//! `struct`/`enum` keyword. Generic types are rejected with a compile-time
+//! panic; none of the derived types in this workspace are generic.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type identifier and asserts the type takes no generics.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde_derive stub: expected type name, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = iter.next() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "serde_derive stub: generic type `{name}` is not supported; \
+                             extend third_party/serde_derive"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde_derive stub: no struct/enum keyword in derive input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+}

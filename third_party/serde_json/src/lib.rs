@@ -1,0 +1,6 @@
+//! Offline placeholder for `serde_json`.
+//!
+//! Declared in the workspace manifest but not imported anywhere; JSON
+//! artifacts (bench snapshots, figure data) are written with hand-rolled
+//! formatting so the pipeline has no serialization dependency. Extend this
+//! stub or vendor the real crate if `serde_json` APIs become necessary.
