@@ -9,6 +9,7 @@
 //! time `max_rank(T_comp + T_comm)`.
 
 use crate::costmodel::CostModel;
+use crate::fault::OpKind;
 use crate::topology::Placement;
 
 /// Accounting for one rank.
@@ -26,6 +27,11 @@ pub struct RankLedger {
     pub replicated_bytes: u64,
     /// Work-stealing events inside this rank (hybrid runner).
     pub steals: u64,
+    /// Communication operations *started* (≥ `comm_ops`, which counts only
+    /// completed ops — the gap plus `last_op` is the failure diagnostic).
+    pub ops_started: u64,
+    /// The communication operation this rank most recently entered.
+    pub last_op: Option<OpKind>,
 }
 
 impl RankLedger {
@@ -47,6 +53,13 @@ impl RankLedger {
     #[inline]
     pub fn record_replicated(&mut self, bytes: u64) {
         self.replicated_bytes = self.replicated_bytes.max(bytes);
+    }
+
+    /// Records entry into a communication operation (failure diagnostics).
+    #[inline]
+    pub fn note_op(&mut self, op: OpKind) {
+        self.ops_started += 1;
+        self.last_op = Some(op);
     }
 }
 

@@ -1,17 +1,51 @@
-//! A reusable generation-counted barrier.
+//! A reusable generation-counted barrier with poisoning and deadlines.
 //!
-//! `std::sync::Barrier` exists, but the collective engine needs a barrier
-//! whose wait reports whether the caller was the *last* to arrive (the rank
-//! that performs the reduction in our collectives), and `parking_lot`'s
-//! condvars are faster under the heavy reuse our supersteps produce.
+//! `std::sync::Barrier` exists, but the collective engine needs three
+//! things it lacks:
+//!
+//! * the wait must report whether the caller was the *last* to arrive (the
+//!   rank that performs the reduction in our collectives);
+//! * the barrier must be **poisonable**: when a rank dies (panic, injected
+//!   kill, watchdog timeout), it poisons the barrier so every peer blocked
+//!   in — or later entering — any wait wakes up with an error instead of
+//!   deadlocking the process;
+//! * waits must accept a **deadline** so a hung peer converts into a
+//!   diagnostic timeout rather than an eternal block.
+//!
+//! `parking_lot`'s condvars are also faster under the heavy reuse our
+//! supersteps produce.
 
 use parking_lot::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a barrier was poisoned: the originating rank and a human-readable
+/// cause, propagated verbatim into every peer's error.
+#[derive(Clone, Debug)]
+pub struct Poison {
+    /// Rank that poisoned the barrier.
+    pub rank: usize,
+    /// Human-readable cause (panic message, "killed by fault plan", ...).
+    pub reason: String,
+}
+
+/// Outcome of a deadline-aware wait.
+#[derive(Clone, Debug)]
+pub enum WaitError {
+    /// A peer poisoned the barrier while (or before) we waited.
+    Poisoned(Poison),
+    /// The deadline expired before all peers arrived. The barrier is *not*
+    /// auto-poisoned: the caller decides (the comm layer poisons it so the
+    /// whole run aborts coherently).
+    TimedOut,
+}
 
 struct State {
     /// Ranks still expected in the current generation.
     remaining: usize,
     /// Generation counter; bumped when a generation completes.
     generation: u64,
+    /// Set once; permanently fails all current and future waits.
+    poison: Option<Poison>,
 }
 
 /// A reusable barrier for a fixed number of participants.
@@ -25,27 +59,77 @@ impl Barrier {
     /// Creates a barrier for `n` participants (`n >= 1`).
     pub fn new(n: usize) -> Barrier {
         assert!(n >= 1);
-        Barrier { n, state: Mutex::new(State { remaining: n, generation: 0 }), cv: Condvar::new() }
+        Barrier {
+            n,
+            state: Mutex::new(State { remaining: n, generation: 0, poison: None }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Poisons the barrier: all ranks currently blocked in [`Barrier::wait`]
+    /// (or any future waiter) wake with `WaitError::Poisoned`. First poison
+    /// wins; later calls are ignored (the first cause is the root cause).
+    pub fn poison(&self, poison: Poison) {
+        let mut s = self.state.lock();
+        if s.poison.is_none() {
+            s.poison = Some(poison);
+            self.cv.notify_all();
+        }
+    }
+
+    /// The poison cause, if the barrier has been poisoned.
+    pub fn poison_state(&self) -> Option<Poison> {
+        self.state.lock().poison.clone()
     }
 
     /// Blocks until all `n` participants have called `wait` in this
-    /// generation. Returns `true` for exactly one caller per generation
-    /// (the last to arrive).
-    pub fn wait(&self) -> bool {
+    /// generation. Returns `Ok(true)` for exactly one caller per generation
+    /// (the last to arrive), or `Err` if the barrier was poisoned.
+    pub fn wait(&self) -> Result<bool, Poison> {
+        match self.wait_for(None) {
+            Ok(leader) => Ok(leader),
+            Err(WaitError::Poisoned(p)) => Err(p),
+            Err(WaitError::TimedOut) => unreachable!("no deadline given"),
+        }
+    }
+
+    /// Deadline-aware wait: like [`Barrier::wait`], but gives up after
+    /// `timeout` (if `Some`). On timeout the caller's arrival is rolled
+    /// back so accounting stays consistent if the caller chooses to retry
+    /// — though the comm layer instead poisons the barrier and aborts.
+    pub fn wait_for(&self, timeout: Option<Duration>) -> Result<bool, WaitError> {
         let mut s = self.state.lock();
+        if let Some(p) = &s.poison {
+            return Err(WaitError::Poisoned(p.clone()));
+        }
         s.remaining -= 1;
         if s.remaining == 0 {
             s.remaining = self.n;
             s.generation += 1;
             self.cv.notify_all();
-            true
-        } else {
-            let gen = s.generation;
-            while s.generation == gen {
-                self.cv.wait(&mut s);
-            }
-            false
+            return Ok(true);
         }
+        let gen = s.generation;
+        let deadline = timeout.map(|t| Instant::now() + t);
+        while s.generation == gen {
+            if let Some(p) = &s.poison {
+                return Err(WaitError::Poisoned(p.clone()));
+            }
+            match deadline {
+                None => self.cv.wait(&mut s),
+                Some(d) => {
+                    if self.cv.wait_until(&mut s, d).timed_out() && s.generation == gen {
+                        if let Some(p) = &s.poison {
+                            return Err(WaitError::Poisoned(p.clone()));
+                        }
+                        // Roll back our arrival: we are no longer waiting.
+                        s.remaining += 1;
+                        return Err(WaitError::TimedOut);
+                    }
+                }
+            }
+        }
+        Ok(false)
     }
 }
 
@@ -58,8 +142,8 @@ mod tests {
     #[test]
     fn single_participant_never_blocks() {
         let b = Barrier::new(1);
-        assert!(b.wait());
-        assert!(b.wait());
+        assert!(b.wait().unwrap());
+        assert!(b.wait().unwrap());
     }
 
     #[test]
@@ -74,7 +158,7 @@ mod tests {
                 let leaders = leaders.clone();
                 std::thread::spawn(move || {
                     for _ in 0..rounds {
-                        if b.wait() {
+                        if b.wait().unwrap() {
                             leaders.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -103,7 +187,7 @@ mod tests {
                     // stagger arrivals
                     std::thread::sleep(std::time::Duration::from_millis(i as u64 * 3));
                     done.fetch_add(1, Ordering::SeqCst);
-                    b.wait();
+                    b.wait().unwrap();
                     if done.load(Ordering::SeqCst) != n {
                         viol.fetch_add(1, Ordering::SeqCst);
                     }
@@ -114,5 +198,47 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn poison_wakes_blocked_waiters() {
+        let b = Arc::new(Barrier::new(3));
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let b = b.clone();
+                std::thread::spawn(move || b.wait())
+            })
+            .collect();
+        // give the waiters time to block
+        std::thread::sleep(Duration::from_millis(20));
+        b.poison(Poison { rank: 2, reason: "test kill".into() });
+        for h in waiters {
+            let err = h.join().unwrap().unwrap_err();
+            assert_eq!(err.rank, 2);
+            assert_eq!(err.reason, "test kill");
+        }
+        // later waits fail immediately too
+        assert!(b.wait().is_err());
+        // first poison wins
+        b.poison(Poison { rank: 0, reason: "second".into() });
+        assert_eq!(b.poison_state().unwrap().reason, "test kill");
+    }
+
+    #[test]
+    fn deadline_expires_into_timeout() {
+        let b = Barrier::new(2);
+        let t0 = Instant::now();
+        match b.wait_for(Some(Duration::from_millis(30))) {
+            Err(WaitError::TimedOut) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        // arrival was rolled back: a full generation still completes
+        let b = Arc::new(b);
+        let b2 = b.clone();
+        let h = std::thread::spawn(move || b2.wait().unwrap());
+        let lead = b.wait().unwrap();
+        let other = h.join().unwrap();
+        assert_ne!(lead, other, "exactly one leader");
     }
 }

@@ -15,14 +15,42 @@
 //! own work units via [`Comm::record_work`]. All collective reductions sum
 //! in rank order, so results are bitwise deterministic and identical on all
 //! ranks regardless of thread scheduling.
+//!
+//! ## Failure semantics
+//!
+//! The runtime is **failure-aware** (see [`crate::fault`]):
+//!
+//! * every operation has a `try_*` variant returning
+//!   `Result<_, CommError>`; the plain variants are thin wrappers that
+//!   panic on error (convenient for infallible test programs);
+//! * a rank that panics poisons the shared [`Barrier`] on unwind, so
+//!   peers blocked in *any* collective (or a p2p receive) wake up with
+//!   [`CommError`] instead of deadlocking the process;
+//! * an optional per-operation watchdog
+//!   ([`SimCluster::with_collective_timeout`]) converts a hang into a
+//!   diagnostic [`CommErrorKind::Timeout`] carrying every rank's last-op
+//!   ledger state;
+//! * a [`FaultPlan`] ([`SimCluster::with_fault_plan`]) deterministically
+//!   kills ranks at chosen operation indices and delays or drops
+//!   point-to-point messages;
+//! * [`SimCluster::try_run`] runs fallible rank programs and returns the
+//!   first root-cause failure instead of panicking.
 
 use crate::accounting::{RankLedger, RunReport};
-use crate::barrier::Barrier;
+use crate::barrier::{Barrier, Poison, WaitError};
 use crate::costmodel::{CommLevel, CostModel};
+use crate::fault::{CommError, CommErrorKind, FaultPlan, OpKind, P2pAction, RankOpState};
 use crate::topology::{ClusterTopology, Placement};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Poll interval for receives and other waits that cannot block forever:
+/// short enough that poison propagates promptly, long enough to cost
+/// nothing on the fault-free path (a delivered message wakes the receiver
+/// immediately regardless).
+const POISON_POLL: Duration = Duration::from_millis(2);
 
 /// Shared collective-exchange state for one run.
 struct CollectiveCtx {
@@ -30,19 +58,30 @@ struct CollectiveCtx {
     /// One deposit slot per rank, reused across collectives (the
     /// double-barrier protocol guarantees exclusive generations).
     slots: Mutex<Vec<Option<Vec<f64>>>>,
+    /// Each rank's last-op state, shared so any rank can diagnose a dead
+    /// or hung cluster ("rank 3 never reached allreduce #7").
+    status: Mutex<Vec<RankOpState>>,
 }
 
-/// A simulated cluster: topology plus cost model.
+/// A simulated cluster: topology plus cost model, and optionally a
+/// collective watchdog and a fault-injection plan.
 #[derive(Clone, Debug)]
 pub struct SimCluster {
     pub topology: ClusterTopology,
     pub cost: CostModel,
+    /// Per-operation watchdog: a collective (or receive) that blocks
+    /// longer than this poisons the run and returns
+    /// [`CommErrorKind::Timeout`]. `None` (the default) waits forever —
+    /// panics still poison, so a dead rank never deadlocks the process.
+    pub collective_timeout: Option<Duration>,
+    /// Injected faults for resilience testing; empty by default.
+    pub fault_plan: FaultPlan,
 }
 
 impl SimCluster {
     /// Creates a cluster.
     pub fn new(topology: ClusterTopology, cost: CostModel) -> SimCluster {
-        SimCluster { topology, cost }
+        SimCluster { topology, cost, collective_timeout: None, fault_plan: FaultPlan::new() }
     }
 
     /// A single Lonestar4-style node (12 cores) with default costs.
@@ -55,16 +94,153 @@ impl SimCluster {
         SimCluster::new(ClusterTopology::lonestar4(nodes), CostModel::default())
     }
 
+    /// Sets the per-operation watchdog deadline.
+    pub fn with_collective_timeout(mut self, timeout: Duration) -> SimCluster {
+        self.collective_timeout = Some(timeout);
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> SimCluster {
+        self.fault_plan = plan;
+        self
+    }
+
     /// Runs `f` on `ranks` ranks, each occupying `threads_per_rank` cores
     /// (1 for the pure distributed configuration, >1 for hybrid). Returns
     /// each rank's result plus the accounting report.
     ///
     /// Deterministic: collective results are rank-order sums, and rank `i`'s
     /// result lands at index `i`.
+    ///
+    /// Panics if any rank panics or fails a communication operation (the
+    /// root-cause rank's panic payload is re-raised). Peers never hang: the
+    /// failing rank poisons the runtime and everyone aborts. Use
+    /// [`SimCluster::try_run`] to get a [`CommError`] instead.
     pub fn run<R, F>(&self, ranks: usize, threads_per_rank: usize, f: F) -> (Vec<R>, RunReport)
     where
         R: Send,
         F: Fn(&mut Comm) -> R + Sync,
+    {
+        let wrapped = |c: &mut Comm| Ok(f(c));
+        let (ends, placements, wall, poison) = self.run_impl(ranks, threads_per_rank, &wrapped);
+        let origin = poison.as_ref().map(|p| p.rank);
+        let mut panic_payloads: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
+        let mut first_error: Option<CommError> = None;
+        let mut results = Vec::with_capacity(ranks);
+        let mut ledgers = Vec::with_capacity(ranks);
+        for (rank, (end, ledger)) in ends.into_iter().enumerate() {
+            ledgers.push(ledger);
+            match end {
+                RankEnd::Done(r) => results.push(r),
+                RankEnd::Failed(e) => first_error = first_error.or(Some(e)),
+                RankEnd::Panicked(payload) => panic_payloads.push((rank, payload)),
+            }
+        }
+        if results.len() == ranks {
+            let report = RunReport {
+                ledgers,
+                placements: Arc::try_unwrap(placements).unwrap_or_else(|a| (*a).clone()),
+                wall_seconds: wall,
+            };
+            return (results, report);
+        }
+        // Failure: re-raise the root cause — the poison originator's panic
+        // if it panicked, else any panic, else the first CommError.
+        if let Some(origin) = origin {
+            if let Some(i) = panic_payloads.iter().position(|(r, _)| *r == origin) {
+                std::panic::resume_unwind(panic_payloads.swap_remove(i).1);
+            }
+        }
+        if let Some((_, payload)) = panic_payloads.into_iter().next() {
+            std::panic::resume_unwind(payload);
+        }
+        match first_error {
+            Some(e) => panic!("cluster run failed: {e}"),
+            None => unreachable!("failed run with no recorded failure"),
+        }
+    }
+
+    /// Like [`SimCluster::run`], but for fallible rank programs: the rank
+    /// closure returns `Result<R, CommError>` (use the `try_*` operations
+    /// and `?`), and instead of panicking, a failed run returns the
+    /// root-cause [`CommError`] — a rank panic is converted into
+    /// [`CommErrorKind::RankPanicked`] — with every rank's last-op ledger
+    /// state attached for diagnosis.
+    pub fn try_run<R, F>(
+        &self,
+        ranks: usize,
+        threads_per_rank: usize,
+        f: F,
+    ) -> Result<(Vec<R>, RunReport), CommError>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> Result<R, CommError> + Sync,
+    {
+        let (ends, placements, wall, poison) = self.run_impl(ranks, threads_per_rank, &f);
+        let mut results = Vec::with_capacity(ranks);
+        let mut ledgers = Vec::with_capacity(ranks);
+        let mut failures: Vec<(usize, CommError)> = Vec::new();
+        for (rank, (end, ledger)) in ends.into_iter().enumerate() {
+            ledgers.push(ledger);
+            match end {
+                RankEnd::Done(r) => results.push(r),
+                RankEnd::Failed(e) => failures.push((rank, e)),
+                RankEnd::Panicked(payload) => failures.push((
+                    rank,
+                    CommError {
+                        kind: CommErrorKind::RankPanicked {
+                            message: panic_message(payload.as_ref()),
+                        },
+                        rank,
+                        op: None,
+                        rank_states: Vec::new(),
+                    },
+                )),
+            }
+        }
+        if results.len() == ranks {
+            let report = RunReport {
+                ledgers,
+                placements: Arc::try_unwrap(placements).unwrap_or_else(|a| (*a).clone()),
+                wall_seconds: wall,
+            };
+            return Ok((results, report));
+        }
+        // Root cause: the poison originator's own failure if present,
+        // otherwise the first failure by rank order.
+        let origin = poison.as_ref().map(|p| p.rank);
+        let idx = origin
+            .and_then(|o| failures.iter().position(|(r, _)| *r == o))
+            .unwrap_or(0);
+        let mut err = failures.swap_remove(idx).1;
+        if err.rank_states.is_empty() {
+            // attach final per-rank diagnostics from the ledgers
+            err.rank_states = ledgers
+                .iter()
+                .map(|l| RankOpState {
+                    ops_started: l.ops_started,
+                    last_op: l.last_op,
+                    in_op: false,
+                })
+                .collect();
+        }
+        Err(err)
+    }
+
+    /// Shared engine: spawns the rank threads, catches panics (poisoning
+    /// the barrier so peers abort), and returns every rank's terminal
+    /// state plus its ledger.
+    #[allow(clippy::type_complexity)]
+    fn run_impl<R, F>(
+        &self,
+        ranks: usize,
+        threads_per_rank: usize,
+        f: &F,
+    ) -> (Vec<(RankEnd<R>, RankLedger)>, Arc<Vec<Placement>>, f64, Option<Poison>)
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> Result<R, CommError> + Sync,
     {
         assert!(ranks >= 1);
         let placements = Arc::new(self.topology.place(ranks, threads_per_rank));
@@ -72,7 +248,9 @@ impl SimCluster {
         let ctx = Arc::new(CollectiveCtx {
             barrier: Barrier::new(ranks),
             slots: Mutex::new(vec![None; ranks]),
+            status: Mutex::new(vec![RankOpState::default(); ranks]),
         });
+        let fault_plan = Arc::new(self.fault_plan.clone());
 
         // P×P channel matrix; rank r owns receivers[..][r].
         let mut senders: Vec<Vec<Sender<Vec<f64>>>> = Vec::with_capacity(ranks);
@@ -90,54 +268,89 @@ impl SimCluster {
         let senders = Arc::new(senders);
 
         let start = std::time::Instant::now();
-        let mut outputs: Vec<Option<(R, RankLedger)>> = (0..ranks).map(|_| None).collect();
+        let mut outputs: Vec<Option<(RankEnd<R>, RankLedger)>> = (0..ranks).map(|_| None).collect();
         crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(ranks);
             for (rank, slot) in outputs.iter_mut().enumerate() {
                 let my_receivers: Vec<Receiver<Vec<f64>>> =
                     receivers[rank].iter_mut().map(|r| r.take().unwrap()).collect();
                 let ctx = ctx.clone();
                 let senders = senders.clone();
                 let placements = placements.clone();
+                let fault_plan = fault_plan.clone();
                 let cost = self.cost;
-                let f = &f;
-                handles.push(scope.spawn(move |_| {
+                let timeout = self.collective_timeout;
+                scope.spawn(move |_| {
                     let mut comm = Comm {
                         rank,
                         size: ranks,
                         threads_per_rank,
                         level,
                         cost,
+                        timeout,
                         placements,
                         ctx,
                         senders,
                         receivers: my_receivers,
+                        fault_plan,
+                        send_counts: vec![0; ranks],
+                        ops_started: 0,
                         ledger: RankLedger::default(),
                     };
-                    let r = f(&mut comm);
-                    *slot = Some((r, comm.ledger));
-                }));
-            }
-            for h in handles {
-                h.join().expect("rank thread panicked");
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
+                    let end = match outcome {
+                        Ok(Ok(r)) => RankEnd::Done(r),
+                        Ok(Err(e)) => {
+                            // A fallible rank program gave up: poison so
+                            // peers blocked in collectives abort too.
+                            comm.ctx.barrier.poison(Poison {
+                                rank,
+                                reason: format!("rank {rank} failed: {e}"),
+                            });
+                            RankEnd::Failed(e)
+                        }
+                        Err(payload) => {
+                            comm.ctx.barrier.poison(Poison {
+                                rank,
+                                reason: format!(
+                                    "rank {rank} panicked: {}",
+                                    panic_message(payload.as_ref())
+                                ),
+                            });
+                            RankEnd::Panicked(payload)
+                        }
+                    };
+                    *slot = Some((end, comm.ledger));
+                });
             }
         })
         .expect("cluster scope failed");
 
         let wall = start.elapsed().as_secs_f64();
-        let mut results = Vec::with_capacity(ranks);
-        let mut ledgers = Vec::with_capacity(ranks);
-        for out in outputs {
-            let (r, l) = out.expect("rank produced no result");
-            results.push(r);
-            ledgers.push(l);
-        }
-        let report = RunReport {
-            ledgers,
-            placements: Arc::try_unwrap(placements).unwrap_or_else(|a| (*a).clone()),
-            wall_seconds: wall,
-        };
-        (results, report)
+        let poison = ctx.barrier.poison_state();
+        let ends = outputs
+            .into_iter()
+            .map(|o| o.expect("rank thread produced no outcome"))
+            .collect();
+        (ends, placements, wall, poison)
+    }
+}
+
+/// Terminal state of one rank thread.
+enum RankEnd<R> {
+    Done(R),
+    Failed(CommError),
+    Panicked(Box<dyn std::any::Any + Send + 'static>),
+}
+
+/// Best-effort stringification of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -148,10 +361,16 @@ pub struct Comm {
     threads_per_rank: usize,
     level: CommLevel,
     cost: CostModel,
+    timeout: Option<Duration>,
     placements: Arc<Vec<Placement>>,
     ctx: Arc<CollectiveCtx>,
     senders: Arc<Vec<Vec<Sender<Vec<f64>>>>>,
     receivers: Vec<Receiver<Vec<f64>>>,
+    fault_plan: Arc<FaultPlan>,
+    /// Messages sent so far on each outgoing link (fault-plan indexing).
+    send_counts: Vec<u64>,
+    /// Communication ops started by this rank (fault-plan indexing).
+    ops_started: u64,
     ledger: RankLedger,
 }
 
@@ -202,39 +421,220 @@ impl Comm {
         self.ledger.steals += n;
     }
 
+    // ---- failure-aware plumbing -------------------------------------------
+
+    /// Snapshot of every rank's last-op state (for error diagnostics).
+    fn snapshot_states(&self) -> Vec<RankOpState> {
+        self.ctx.status.lock().clone()
+    }
+
+    fn poisoned_error(&self, p: Poison, op: OpKind) -> CommError {
+        CommError {
+            kind: CommErrorKind::Poisoned { origin: p.rank, reason: p.reason },
+            rank: self.rank,
+            op: Some(op),
+            rank_states: self.snapshot_states(),
+        }
+    }
+
+    /// Enters a communication operation: bumps the op counter, publishes
+    /// the last-op state, and applies poison / fault-plan kills.
+    fn begin_op(&mut self, kind: OpKind) -> Result<(), CommError> {
+        let idx = self.ops_started;
+        self.ops_started += 1;
+        self.ledger.note_op(kind);
+        {
+            let mut status = self.ctx.status.lock();
+            status[self.rank] =
+                RankOpState { ops_started: self.ops_started, last_op: Some(kind), in_op: true };
+        }
+        if let Some(p) = self.ctx.barrier.poison_state() {
+            return Err(self.poisoned_error(p, kind));
+        }
+        if self.fault_plan.should_kill(self.rank, idx) {
+            let reason = format!("killed by fault plan at op #{idx} ({kind})");
+            self.ctx.barrier.poison(Poison { rank: self.rank, reason });
+            return Err(CommError {
+                kind: CommErrorKind::Killed { op_index: idx },
+                rank: self.rank,
+                op: Some(kind),
+                rank_states: self.snapshot_states(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Marks the current operation complete in the shared status table.
+    fn end_op(&self) {
+        self.ctx.status.lock()[self.rank].in_op = false;
+    }
+
+    /// One barrier rendezvous under the watchdog; a timeout poisons the
+    /// runtime (so peers abort coherently) and returns the diagnostic.
+    fn sync(&self, op: OpKind) -> Result<bool, CommError> {
+        match self.ctx.barrier.wait_for(self.timeout) {
+            Ok(leader) => Ok(leader),
+            Err(WaitError::Poisoned(p)) => Err(self.poisoned_error(p, op)),
+            Err(WaitError::TimedOut) => {
+                let timeout = self.timeout.expect("timeout without deadline");
+                let states = self.snapshot_states();
+                self.ctx.barrier.poison(Poison {
+                    rank: self.rank,
+                    reason: format!("rank {} timed out after {timeout:?} in {op}", self.rank),
+                });
+                Err(CommError {
+                    kind: CommErrorKind::Timeout { timeout },
+                    rank: self.rank,
+                    op: Some(op),
+                    rank_states: states,
+                })
+            }
+        }
+    }
+
+    // ---- point-to-point ---------------------------------------------------
+
     /// Blocking point-to-point send of an f64 payload.
     pub fn send_f64(&mut self, to: usize, payload: Vec<f64>) {
+        unwrap_comm(self.try_send_f64(to, payload), OpKind::Send)
+    }
+
+    /// Fallible point-to-point send. Subject to fault-plan delay/drop.
+    pub fn try_send_f64(&mut self, to: usize, payload: Vec<f64>) -> Result<(), CommError> {
         assert!(to < self.size && to != self.rank, "bad destination {to}");
+        self.begin_op(OpKind::Send)?;
+        let nth = self.send_counts[to];
+        self.send_counts[to] += 1;
         let words = payload.len();
         let level = CommLevel::between(&self.placements[self.rank], &self.placements[to]);
         self.ledger.add_comm(self.cost.p2p(level, words), (words * 8) as u64);
-        self.senders[self.rank][to].send(payload).expect("receiver dropped");
+        match self.fault_plan.p2p_action(self.rank, to, nth) {
+            P2pAction::Drop => {} // message vanishes on the wire
+            P2pAction::Delay(d) => {
+                std::thread::sleep(d);
+                self.deliver(to, payload)?;
+            }
+            P2pAction::Deliver => self.deliver(to, payload)?,
+        }
+        self.end_op();
+        Ok(())
+    }
+
+    fn deliver(&self, to: usize, payload: Vec<f64>) -> Result<(), CommError> {
+        self.senders[self.rank][to].send(payload).map_err(|_| match self
+            .ctx
+            .barrier
+            .poison_state()
+        {
+            Some(p) => self.poisoned_error(p, OpKind::Send),
+            None => CommError {
+                kind: CommErrorKind::Poisoned {
+                    origin: to,
+                    reason: format!("rank {to} closed its channels"),
+                },
+                rank: self.rank,
+                op: Some(OpKind::Send),
+                rank_states: self.snapshot_states(),
+            },
+        })
     }
 
     /// Blocking receive from a specific source rank.
     pub fn recv_f64(&mut self, from: usize) -> Vec<f64> {
+        unwrap_comm(self.try_recv_f64(from), OpKind::Recv)
+    }
+
+    /// Fallible receive: wakes with an error if the runtime is poisoned
+    /// while waiting, or if the watchdog deadline expires (e.g. the
+    /// message was dropped by the fault plan).
+    pub fn try_recv_f64(&mut self, from: usize) -> Result<Vec<f64>, CommError> {
         assert!(from < self.size && from != self.rank, "bad source {from}");
-        let payload = self.receivers[from].recv().expect("sender dropped");
+        self.begin_op(OpKind::Recv)?;
+        let deadline = self.timeout.map(|t| Instant::now() + t);
+        let payload = loop {
+            match self.receivers[from].recv_timeout(POISON_POLL) {
+                Ok(p) => break p,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(match self.ctx.barrier.poison_state() {
+                        Some(p) => self.poisoned_error(p, OpKind::Recv),
+                        None => CommError {
+                            kind: CommErrorKind::Poisoned {
+                                origin: from,
+                                reason: format!("rank {from} closed its channels"),
+                            },
+                            rank: self.rank,
+                            op: Some(OpKind::Recv),
+                            rank_states: self.snapshot_states(),
+                        },
+                    });
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(p) = self.ctx.barrier.poison_state() {
+                        return Err(self.poisoned_error(p, OpKind::Recv));
+                    }
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            let timeout = self.timeout.expect("deadline without timeout");
+                            let states = self.snapshot_states();
+                            self.ctx.barrier.poison(Poison {
+                                rank: self.rank,
+                                reason: format!(
+                                    "rank {} timed out after {timeout:?} in recv from {from}",
+                                    self.rank
+                                ),
+                            });
+                            return Err(CommError {
+                                kind: CommErrorKind::Timeout { timeout },
+                                rank: self.rank,
+                                op: Some(OpKind::Recv),
+                                rank_states: states,
+                            });
+                        }
+                    }
+                }
+            }
+        };
         // Receiver pays latency too (it idles for the message).
         let level = CommLevel::between(&self.placements[self.rank], &self.placements[from]);
         self.ledger.add_comm(self.cost.p2p(level, payload.len()), 0);
-        payload
+        self.end_op();
+        Ok(payload)
     }
+
+    // ---- collectives ------------------------------------------------------
 
     /// Barrier across all ranks.
     pub fn barrier(&mut self) {
-        self.ctx.barrier.wait();
+        unwrap_comm(self.try_barrier(), OpKind::Barrier)
+    }
+
+    /// Fallible barrier across all ranks.
+    pub fn try_barrier(&mut self) -> Result<(), CommError> {
+        self.begin_op(OpKind::Barrier)?;
+        if self.size > 1 {
+            self.sync(OpKind::Barrier)?;
+        }
         self.ledger.add_comm(self.cost.barrier(self.level, self.size), 0);
+        self.end_op();
+        Ok(())
     }
 
     /// Element-wise sum-allreduce, in place. All ranks receive the identical
     /// rank-order sum (bitwise deterministic).
     pub fn allreduce_sum(&mut self, data: &mut [f64]) {
+        unwrap_comm(self.try_allreduce_sum(data), OpKind::AllreduceSum)
+    }
+
+    /// Fallible element-wise sum-allreduce.
+    pub fn try_allreduce_sum(&mut self, data: &mut [f64]) -> Result<(), CommError> {
+        const OP: OpKind = OpKind::AllreduceSum;
+        self.begin_op(OP)?;
         if self.size == 1 {
-            return;
+            self.end_op();
+            return Ok(());
         }
         self.deposit(data.to_vec());
-        self.ctx.barrier.wait();
+        self.sync(OP)?;
         {
             let slots = self.ctx.slots.lock();
             for x in data.iter_mut() {
@@ -248,19 +648,29 @@ impl Comm {
                 }
             }
         }
-        self.finish_collective();
+        self.finish_collective(OP)?;
         self.ledger
             .add_comm(self.cost.allreduce(self.level, self.size, data.len()), (data.len() * 8) as u64);
+        self.end_op();
+        Ok(())
     }
 
     /// Element-wise max-allreduce, in place (used for global extrema, e.g.
     /// Born-radius bin ranges; reduce a minimum by negating).
     pub fn allreduce_max(&mut self, data: &mut [f64]) {
+        unwrap_comm(self.try_allreduce_max(data), OpKind::AllreduceMax)
+    }
+
+    /// Fallible element-wise max-allreduce.
+    pub fn try_allreduce_max(&mut self, data: &mut [f64]) -> Result<(), CommError> {
+        const OP: OpKind = OpKind::AllreduceMax;
+        self.begin_op(OP)?;
         if self.size == 1 {
-            return;
+            self.end_op();
+            return Ok(());
         }
         self.deposit(data.to_vec());
-        self.ctx.barrier.wait();
+        self.sync(OP)?;
         {
             let slots = self.ctx.slots.lock();
             for x in data.iter_mut() {
@@ -274,18 +684,32 @@ impl Comm {
                 }
             }
         }
-        self.finish_collective();
+        self.finish_collective(OP)?;
         self.ledger
             .add_comm(self.cost.allreduce(self.level, self.size, data.len()), (data.len() * 8) as u64);
+        self.end_op();
+        Ok(())
     }
 
     /// Sum-reduce to `root`; returns `Some(sum)` on root, `None` elsewhere.
     pub fn reduce_sum(&mut self, root: usize, data: &[f64]) -> Option<Vec<f64>> {
+        unwrap_comm(self.try_reduce_sum(root, data), OpKind::ReduceSum)
+    }
+
+    /// Fallible sum-reduce to `root`.
+    pub fn try_reduce_sum(
+        &mut self,
+        root: usize,
+        data: &[f64],
+    ) -> Result<Option<Vec<f64>>, CommError> {
+        const OP: OpKind = OpKind::ReduceSum;
+        self.begin_op(OP)?;
         if self.size == 1 {
-            return Some(data.to_vec());
+            self.end_op();
+            return Ok(Some(data.to_vec()));
         }
         self.deposit(data.to_vec());
-        self.ctx.barrier.wait();
+        self.sync(OP)?;
         let result = if self.rank == root {
             let slots = self.ctx.slots.lock();
             let mut acc = vec![0.0; data.len()];
@@ -299,59 +723,99 @@ impl Comm {
         } else {
             None
         };
-        self.finish_collective();
+        self.finish_collective(OP)?;
+        // A rooted reduce (binomial tree, no redistribution) — not the
+        // allreduce it was previously billed as.
         self.ledger
-            .add_comm(self.cost.allreduce(self.level, self.size, data.len()), (data.len() * 8) as u64);
-        result
+            .add_comm(self.cost.reduce(self.level, self.size, data.len()), (data.len() * 8) as u64);
+        self.end_op();
+        Ok(result)
     }
 
     /// Broadcast from `root`: non-root ranks receive root's payload.
     pub fn broadcast(&mut self, root: usize, data: &mut Vec<f64>) {
+        unwrap_comm(self.try_broadcast(root, data), OpKind::Broadcast)
+    }
+
+    /// Fallible broadcast from `root`.
+    pub fn try_broadcast(&mut self, root: usize, data: &mut Vec<f64>) -> Result<(), CommError> {
+        const OP: OpKind = OpKind::Broadcast;
+        self.begin_op(OP)?;
         if self.size == 1 {
-            return;
+            self.end_op();
+            return Ok(());
         }
         if self.rank == root {
             self.deposit(data.clone());
         }
-        self.ctx.barrier.wait();
+        self.sync(OP)?;
         if self.rank != root {
             let slots = self.ctx.slots.lock();
             *data = slots[root].as_ref().expect("root deposited nothing").clone();
         }
-        self.finish_collective();
+        self.finish_collective(OP)?;
         self.ledger
             .add_comm(self.cost.broadcast(self.level, self.size, data.len()), (data.len() * 8) as u64);
+        self.end_op();
+        Ok(())
     }
 
     /// Variable-length allgather: every rank contributes `local`; all ranks
     /// receive the rank-order concatenation.
     pub fn allgatherv(&mut self, local: &[f64]) -> Vec<f64> {
+        unwrap_comm(self.try_allgatherv(local), OpKind::Allgatherv)
+    }
+
+    /// Fallible variable-length allgather.
+    pub fn try_allgatherv(&mut self, local: &[f64]) -> Result<Vec<f64>, CommError> {
+        const OP: OpKind = OpKind::Allgatherv;
+        self.begin_op(OP)?;
         if self.size == 1 {
-            return local.to_vec();
+            self.end_op();
+            return Ok(local.to_vec());
         }
         self.deposit(local.to_vec());
-        self.ctx.barrier.wait();
+        self.sync(OP)?;
         let mut out;
+        let max_words;
         {
             let slots = self.ctx.slots.lock();
             let total: usize = slots.iter().map(|s| s.as_ref().map_or(0, |v| v.len())).sum();
+            max_words =
+                slots.iter().map(|s| s.as_ref().map_or(0, |v| v.len())).max().unwrap_or(0);
             out = Vec::with_capacity(total);
             for r in 0..self.size {
                 out.extend_from_slice(slots[r].as_ref().expect("missing contribution"));
             }
         }
-        self.finish_collective();
-        let avg_words = out.len() / self.size.max(1);
+        self.finish_collective(OP)?;
+        // Ragged contributions: the ring is gated by the *largest*
+        // contribution (each step forwards every rank's block, so one
+        // MB-scale contributor among tiny ones sets the critical path) —
+        // billing the average would model it as nearly free.
         self.ledger
-            .add_comm(self.cost.allgather(self.level, self.size, avg_words), (local.len() * 8) as u64);
-        out
+            .add_comm(self.cost.allgather(self.level, self.size, max_words), (local.len() * 8) as u64);
+        self.end_op();
+        Ok(out)
     }
 
     /// Scatter from `root`: rank `i` receives `chunks[i]`. Non-root ranks
     /// pass anything (ignored).
     pub fn scatter(&mut self, root: usize, chunks: &[Vec<f64>]) -> Vec<f64> {
+        unwrap_comm(self.try_scatter(root, chunks), OpKind::Scatter)
+    }
+
+    /// Fallible scatter from `root`.
+    pub fn try_scatter(
+        &mut self,
+        root: usize,
+        chunks: &[Vec<f64>],
+    ) -> Result<Vec<f64>, CommError> {
+        const OP: OpKind = OpKind::Scatter;
+        self.begin_op(OP)?;
         if self.size == 1 {
-            return chunks.first().cloned().unwrap_or_default();
+            self.end_op();
+            return Ok(chunks.first().cloned().unwrap_or_default());
         }
         if self.rank == root {
             assert_eq!(chunks.len(), self.size, "scatter needs one chunk per rank");
@@ -363,7 +827,7 @@ impl Comm {
             }
             self.deposit(flat);
         }
-        self.ctx.barrier.wait();
+        self.sync(OP)?;
         let mine;
         {
             let slots = self.ctx.slots.lock();
@@ -380,10 +844,12 @@ impl Comm {
             }
             mine = found;
         }
-        self.finish_collective();
+        self.finish_collective(OP)?;
+        // A rooted scatter — not the allgather it was previously billed as.
         self.ledger
-            .add_comm(self.cost.allgather(self.level, self.size, mine.len()), (mine.len() * 8) as u64);
-        mine
+            .add_comm(self.cost.scatter(self.level, self.size, mine.len()), (mine.len() * 8) as u64);
+        self.end_op();
+        Ok(mine)
     }
 
     /// Reduce-scatter: element-wise sum across ranks, then rank `i` keeps
@@ -391,26 +857,39 @@ impl Comm {
     /// codes use for exactly the Step-3+Step-4 pattern of the paper's
     /// algorithm).
     pub fn reduce_scatter_sum(&mut self, data: &[f64]) -> Vec<f64> {
+        unwrap_comm(self.try_reduce_scatter_sum(data), OpKind::AllreduceSum)
+    }
+
+    /// Fallible reduce-scatter.
+    pub fn try_reduce_scatter_sum(&mut self, data: &[f64]) -> Result<Vec<f64>, CommError> {
         let mut full = data.to_vec();
         if self.size > 1 {
-            self.allreduce_sum(&mut full);
+            self.try_allreduce_sum(&mut full)?;
         }
         let n = full.len();
         let base = n / self.size;
         let extra = n % self.size;
         let start = self.rank * base + self.rank.min(extra);
         let len = base + usize::from(self.rank < extra);
-        full[start..start + len].to_vec()
+        Ok(full[start..start + len].to_vec())
     }
 
     /// Inclusive prefix-sum scan: rank `i` receives `Σ_{r ≤ i} contrib_r`,
     /// element-wise.
     pub fn scan_sum(&mut self, data: &[f64]) -> Vec<f64> {
+        unwrap_comm(self.try_scan_sum(data), OpKind::ScanSum)
+    }
+
+    /// Fallible inclusive prefix-sum scan.
+    pub fn try_scan_sum(&mut self, data: &[f64]) -> Result<Vec<f64>, CommError> {
+        const OP: OpKind = OpKind::ScanSum;
+        self.begin_op(OP)?;
         if self.size == 1 {
-            return data.to_vec();
+            self.end_op();
+            return Ok(data.to_vec());
         }
         self.deposit(data.to_vec());
-        self.ctx.barrier.wait();
+        self.sync(OP)?;
         let mut acc = vec![0.0; data.len()];
         {
             let slots = self.ctx.slots.lock();
@@ -422,29 +901,44 @@ impl Comm {
                 }
             }
         }
-        self.finish_collective();
+        self.finish_collective(OP)?;
         self.ledger
             .add_comm(self.cost.allreduce(self.level, self.size, data.len()), (data.len() * 8) as u64);
-        acc
+        self.end_op();
+        Ok(acc)
     }
 
     /// Gather to `root`: root receives every rank's payload by rank.
     pub fn gather(&mut self, root: usize, local: &[f64]) -> Option<Vec<Vec<f64>>> {
+        unwrap_comm(self.try_gather(root, local), OpKind::Gather)
+    }
+
+    /// Fallible gather to `root`.
+    pub fn try_gather(
+        &mut self,
+        root: usize,
+        local: &[f64],
+    ) -> Result<Option<Vec<Vec<f64>>>, CommError> {
+        const OP: OpKind = OpKind::Gather;
+        self.begin_op(OP)?;
         if self.size == 1 {
-            return Some(vec![local.to_vec()]);
+            self.end_op();
+            return Ok(Some(vec![local.to_vec()]));
         }
         self.deposit(local.to_vec());
-        self.ctx.barrier.wait();
+        self.sync(OP)?;
         let result = if self.rank == root {
             let slots = self.ctx.slots.lock();
             Some((0..self.size).map(|r| slots[r].clone().expect("missing contribution")).collect())
         } else {
             None
         };
-        self.finish_collective();
+        self.finish_collective(OP)?;
+        // A rooted gather — not the allgather it was previously billed as.
         self.ledger
-            .add_comm(self.cost.allgather(self.level, self.size, local.len()), (local.len() * 8) as u64);
-        result
+            .add_comm(self.cost.gather(self.level, self.size, local.len()), (local.len() * 8) as u64);
+        self.end_op();
+        Ok(result)
     }
 
     fn deposit(&self, payload: Vec<f64>) {
@@ -453,8 +947,8 @@ impl Comm {
 
     /// Second barrier of the double-barrier protocol; the last rank out
     /// clears the slots for the next collective.
-    fn finish_collective(&self) {
-        if self.ctx.barrier.wait() {
+    fn finish_collective(&self, op: OpKind) -> Result<(), CommError> {
+        if self.sync(op)? {
             let mut slots = self.ctx.slots.lock();
             for s in slots.iter_mut() {
                 *s = None;
@@ -462,7 +956,16 @@ impl Comm {
         }
         // Third rendezvous: nobody may deposit for the *next* collective
         // until the slots are cleared.
-        self.ctx.barrier.wait();
+        self.sync(op)?;
+        Ok(())
+    }
+}
+
+/// Panicking shim for the plain (non-`try`) operation variants.
+fn unwrap_comm<T>(result: Result<T, CommError>, op: OpKind) -> T {
+    match result {
+        Ok(t) => t,
+        Err(e) => panic!("{op} failed: {e}"),
     }
 }
 
@@ -665,6 +1168,8 @@ mod tests {
             assert!(l.comm_seconds > 0.0);
             assert!(l.bytes_moved >= 256 * 8);
             assert_eq!(l.replicated_bytes, 1 << 20);
+            assert_eq!(l.last_op, Some(OpKind::AllreduceSum));
+            assert_eq!(l.ops_started, 1);
         }
         let t = report.modeled_time(&CostModel::default());
         assert!(t > 0.0);
@@ -707,5 +1212,61 @@ mod tests {
         let distributed = comm_of(12, 1);
         let hybrid = comm_of(2, 6);
         assert!(hybrid < distributed, "hybrid {hybrid} vs distributed {distributed}");
+    }
+
+    #[test]
+    fn ragged_allgatherv_bills_the_critical_path() {
+        // one MB-scale contributor among tiny ones: modeled time must be
+        // bounded below by the cost of forwarding the big block, not the
+        // (tiny) average.
+        let big = 1 << 17; // 1 MB of f64s
+        let (_, report) = cluster().run(4, 1, |c| {
+            let local = if c.rank() == 2 { vec![1.0; big] } else { vec![1.0] };
+            c.allgatherv(&local);
+        });
+        let cost = CostModel::default();
+        let level = CommLevel::SameSocket; // single-node lonestar4(2) run places 4 ranks on socket 0
+        let floor = cost.allgather(level, 4, big);
+        for l in &report.ledgers {
+            assert!(
+                l.comm_seconds >= floor,
+                "billed {} < critical-path floor {floor}",
+                l.comm_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn try_run_succeeds_on_clean_programs() {
+        let (results, report) = cluster()
+            .try_run(4, 1, |c| {
+                let mut v = vec![c.rank() as f64];
+                c.try_allreduce_sum(&mut v)?;
+                Ok(v[0])
+            })
+            .unwrap();
+        assert_eq!(results, vec![6.0; 4]);
+        assert_eq!(report.num_ranks(), 4);
+    }
+
+    #[test]
+    fn try_run_reports_rank_failure() {
+        let err = cluster()
+            .try_run(3, 1, |c| {
+                if c.rank() == 1 {
+                    return Err(CommError {
+                        kind: CommErrorKind::RankPanicked { message: "synthetic".into() },
+                        rank: 1,
+                        op: None,
+                        rank_states: Vec::new(),
+                    });
+                }
+                let mut v = vec![1.0];
+                c.try_allreduce_sum(&mut v)?;
+                Ok(v[0])
+            })
+            .unwrap_err();
+        assert_eq!(err.rank, 1);
+        assert_eq!(err.rank_states.len(), 3, "diagnostics for every rank: {err}");
     }
 }

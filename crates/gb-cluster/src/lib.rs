@@ -44,16 +44,24 @@
 //! * [`steal`] — an instrumented randomized work-stealing task pool, the
 //!   cilk++-style dynamic load balancer used *inside* each rank by the
 //!   hybrid runner (steal counts observable for tests and ablations).
+//! * [`fault`] — failure semantics: typed [`CommError`]s, per-rank last-op
+//!   diagnostics, and the deterministic [`FaultPlan`] injection layer. The
+//!   runtime is failure-aware: a panicking rank poisons the shared
+//!   [`barrier`] so peers abort instead of deadlocking, an optional
+//!   watchdog converts hangs into diagnostic timeouts, and every operation
+//!   has a `try_*` variant returning `Result<_, CommError>`.
 
 pub mod accounting;
 pub mod barrier;
 pub mod comm;
 pub mod costmodel;
+pub mod fault;
 pub mod steal;
 pub mod topology;
 
 pub use accounting::{RankLedger, RunReport};
 pub use comm::{Comm, SimCluster};
 pub use costmodel::{CommLevel, CostModel, MemoryModel};
+pub use fault::{CommError, CommErrorKind, FaultPlan, OpKind, P2pAction, RankOpState};
 pub use steal::StealPool;
 pub use topology::{ClusterTopology, Placement};

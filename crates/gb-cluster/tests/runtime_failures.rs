@@ -5,7 +5,9 @@ use gb_cluster::{SimCluster, StealPool};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A panicking rank must fail the whole run loudly (like an MPI abort),
-/// not deadlock the other ranks.
+/// not deadlock the other ranks — even while every peer is blocked inside
+/// a collective waiting on the dead rank: the unwinding rank poisons the
+/// barrier, the peers abort, and the original panic propagates.
 #[test]
 fn rank_panic_aborts_the_run() {
     let cluster = SimCluster::single_node();
@@ -14,12 +16,22 @@ fn rank_panic_aborts_the_run() {
             if c.rank() == 2 {
                 panic!("injected rank failure");
             }
-            // other ranks do non-collective work only, so nobody blocks on
-            // the dead rank
-            c.rank()
+            let mut v = vec![c.rank() as f64];
+            c.allreduce_sum(&mut v); // blocks on rank 2, which never arrives
+            c.barrier();
+            v[0]
         })
     }));
-    assert!(result.is_err(), "panic must propagate to the caller");
+    let payload = result.expect_err("panic must propagate to the caller");
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(
+        message.contains("injected rank failure"),
+        "caller must see the ORIGINAL panic, not a secondary abort: {message}"
+    );
 }
 
 /// Mismatched allreduce lengths are a programming error and must be caught,

@@ -1,4 +1,44 @@
-//! Error metrics for the accuracy experiments (paper Figs. 9–11).
+//! Error metrics for the accuracy experiments (paper Figs. 9–11), plus
+//! [`GbError`] — the typed failure a GB energy job returns when the
+//! cluster runtime beneath it dies instead of panicking the process.
+
+use gb_cluster::CommError;
+use std::fmt;
+
+/// Failure modes of a GB energy job.
+///
+/// The `try_run_*` runners return this instead of panicking, so a caller
+/// (a driver loop, a study harness) can log the per-rank diagnostics and
+/// move on to the next molecule.
+#[derive(Clone, Debug)]
+pub enum GbError {
+    /// The cluster runtime failed underneath the job: a rank panicked or
+    /// was fault-injected away, a collective timed out, or a message was
+    /// lost. Carries every rank's last-op ledger state.
+    Comm(CommError),
+}
+
+impl fmt::Display for GbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GbError::Comm(e) => write!(f, "GB job failed in the cluster runtime: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GbError::Comm(e) => Some(e),
+        }
+    }
+}
+
+impl From<CommError> for GbError {
+    fn from(e: CommError) -> GbError {
+        GbError::Comm(e)
+    }
+}
 
 /// Signed percent error of `approx` relative to `exact`.
 pub fn percent_error(approx: f64, exact: f64) -> f64 {

@@ -58,7 +58,7 @@ pub mod runners;
 pub mod system;
 pub mod workdiv;
 
-pub use error::{percent_error, ErrorStats};
+pub use error::{percent_error, ErrorStats, GbError};
 pub use interaction::{BornLists, EnergyLists};
 pub use gbmath::COULOMB_KCAL;
 pub use params::{GbParams, MathKind, RadiiKind};

@@ -30,6 +30,7 @@
 //! the `data_distribution` study measure exactly that.
 
 use crate::bins::ChargeBins;
+use crate::error::GbError;
 use crate::fastmath::{ApproxMath, ExactMath, MathMode};
 use crate::gbmath::{finalize_energy, inv_f_gb, RadiiApprox, R4, R6};
 use crate::integrals::{well_separated, IntegralAcc, TRAVERSAL_UNIT};
@@ -37,7 +38,7 @@ use crate::params::{MathKind, RadiiKind};
 use crate::runners::with_kernels;
 use crate::system::{GbResult, GbSystem};
 use crate::workdiv::leaf_segments;
-use gb_cluster::{Comm, RunReport, SimCluster};
+use gb_cluster::{Comm, CommError, RunReport, SimCluster};
 use gb_geom::Vec3;
 use gb_octree::{NodeId, Octree};
 use std::collections::HashMap;
@@ -47,15 +48,30 @@ use std::ops::Range;
 ///
 /// Node-based work division only (the scheme whose leaf segments align
 /// with contiguous data shards).
+///
+/// Panics if the cluster runtime fails beneath the job; use
+/// [`try_run_data_distributed`] to get a typed [`GbError`] instead.
 pub fn run_data_distributed(
     sys: &GbSystem,
     cluster: &SimCluster,
     ranks: usize,
 ) -> (GbResult, RunReport) {
-    let (mut results, report) = cluster.run(ranks, 1, |comm| {
+    try_run_data_distributed(sys, cluster, ranks)
+        .unwrap_or_else(|e| panic!("data-distributed run failed: {e}"))
+}
+
+/// Fallible variant of [`run_data_distributed`]: rank failures — including
+/// lost or delayed halo messages — degrade into a [`GbError`] with
+/// per-rank diagnostics instead of panicking.
+pub fn try_run_data_distributed(
+    sys: &GbSystem,
+    cluster: &SimCluster,
+    ranks: usize,
+) -> Result<(GbResult, RunReport), GbError> {
+    let (mut results, report) = cluster.try_run(ranks, 1, |comm| {
         with_kernels!(sys.params, M, K => rank_body::<M, K>(sys, comm))
-    });
-    (results.swap_remove(0), report)
+    })?;
+    Ok((results.swap_remove(0), report))
 }
 
 /// The atom range covered by a contiguous segment of `T_A` leaves.
@@ -150,26 +166,28 @@ impl Ownership {
 
 /// Halo exchange: every rank asks each owner for the leaves it needs and
 /// answers the requests it receives. `payload(leaf)` flattens one owned
-/// leaf; returns the ghost table `leaf id -> flattened payload`.
+/// leaf; returns the ghost table `leaf id -> flattened payload`. A lost or
+/// late message surfaces as a [`CommError`] (the receiver's watchdog or the
+/// runtime poison), never a hang.
 fn halo_exchange(
     comm: &mut Comm,
     needed_by_owner: &[Vec<NodeId>],
     mut payload: impl FnMut(NodeId) -> Vec<f64>,
-) -> HashMap<NodeId, Vec<f64>> {
+) -> Result<HashMap<NodeId, Vec<f64>>, CommError> {
     let p = comm.size();
     let me = comm.rank();
     // 1) send request lists to every peer (empty allowed)
     for (peer, needed) in needed_by_owner.iter().enumerate() {
         if peer != me {
             let req: Vec<f64> = needed.iter().map(|&l| l as f64).collect();
-            comm.send_f64(peer, req);
+            comm.try_send_f64(peer, req)?;
         }
     }
     // 2) receive requests, answer each with [leaf, len, data...] streams
     let mut incoming: Vec<(usize, Vec<f64>)> = Vec::with_capacity(p.saturating_sub(1));
     for peer in 0..p {
         if peer != me {
-            incoming.push((peer, comm.recv_f64(peer)));
+            incoming.push((peer, comm.try_recv_f64(peer)?));
         }
     }
     for (peer, req) in incoming {
@@ -181,7 +199,7 @@ fn halo_exchange(
             response.push(data.len() as f64);
             response.extend(data);
         }
-        comm.send_f64(peer, response);
+        comm.try_send_f64(peer, response)?;
     }
     // 3) receive responses and build the ghost table
     let mut ghosts = HashMap::new();
@@ -189,7 +207,7 @@ fn halo_exchange(
         if peer == me {
             continue;
         }
-        let resp = comm.recv_f64(peer);
+        let resp = comm.try_recv_f64(peer)?;
         let mut cursor = 0;
         while cursor < resp.len() {
             let leaf = resp[cursor] as NodeId;
@@ -199,10 +217,13 @@ fn halo_exchange(
             cursor += len;
         }
     }
-    ghosts
+    Ok(ghosts)
 }
 
-fn rank_body<M: MathMode, K: RadiiApprox>(sys: &GbSystem, comm: &mut Comm) -> GbResult {
+fn rank_body<M: MathMode, K: RadiiApprox>(
+    sys: &GbSystem,
+    comm: &mut Comm,
+) -> Result<GbResult, CommError> {
     let rank = comm.rank();
     let ranks = comm.size();
     let shard = Shard::build(sys, rank, ranks);
@@ -259,7 +280,7 @@ fn rank_body<M: MathMode, K: RadiiApprox>(sys: &GbSystem, comm: &mut Comm) -> Gb
             out.extend_from_slice(&[p.x, p.y, p.z]);
         }
         out
-    });
+    })?;
     ghost_bytes += atom_ghosts.values().map(|v| v.len() * 8).sum::<usize>();
 
     // ---- Born phase: far field from the skeleton, near field from shard
@@ -313,7 +334,7 @@ fn rank_body<M: MathMode, K: RadiiApprox>(sys: &GbSystem, comm: &mut Comm) -> Gb
     // ---- Combine partial integrals (unavoidably O(nodes + M), as in the
     // replicated algorithm — the memory win is in the payloads).
     let mut flat = acc.to_flat();
-    comm.allreduce_sum(&mut flat);
+    comm.try_allreduce_sum(&mut flat)?;
     let acc = IntegralAcc::from_flat(&flat, sys.ta.num_nodes());
     drop(flat);
 
@@ -350,9 +371,12 @@ fn rank_body<M: MathMode, K: RadiiApprox>(sys: &GbSystem, comm: &mut Comm) -> Gb
         let hi = my_radii.iter().copied().fold(0.0f64, f64::max);
         // min via negated max-reduction
         let mut v = vec![-lo, hi];
-        comm.allreduce_max(&mut v);
+        comm.try_allreduce_max(&mut v)?;
         (-v[0], v[1])
     };
+    // `compute_distributed` takes an infallible reduction closure; stash
+    // any CommError and surface it right after.
+    let mut hist_err: Option<CommError> = None;
     let bins = ChargeBins::compute_distributed(
         sys,
         &my_radii,
@@ -360,8 +384,15 @@ fn rank_body<M: MathMode, K: RadiiApprox>(sys: &GbSystem, comm: &mut Comm) -> Gb
         &shard.a_charge,
         r_min,
         r_max,
-        |hist| comm.allreduce_sum(hist),
+        |hist| {
+            if let Err(e) = comm.try_allreduce_sum(hist) {
+                hist_err = Some(e);
+            }
+        },
     );
+    if let Some(e) = hist_err {
+        return Err(e);
+    }
     comm.record_work(shard.a_range.len() as f64 * 0.5);
 
     // ---- Pre-pass #2: remote T_A leaves the energy near-field needs.
@@ -406,7 +437,7 @@ fn rank_body<M: MathMode, K: RadiiApprox>(sys: &GbSystem, comm: &mut Comm) -> Gb
             out.extend_from_slice(&[p.x, p.y, p.z, shard.a_charge[local], my_radii[local]]);
         }
         out
-    });
+    })?;
     ghost_bytes += energy_ghosts.values().map(|v| v.len() * 8).sum::<usize>();
     comm.record_replicated(
         (skeleton_bytes + svec_bytes + shard.payload_bytes() + ghost_bytes) as u64,
@@ -479,10 +510,10 @@ fn rank_body<M: MathMode, K: RadiiApprox>(sys: &GbSystem, comm: &mut Comm) -> Gb
     // ---- Combine energies; gather radii only to assemble the caller's
     // result (output collection, not part of the algorithm's working set).
     let mut total = vec![raw];
-    comm.allreduce_sum(&mut total);
+    comm.try_allreduce_sum(&mut total)?;
     let energy_kcal = finalize_energy(total[0], sys.params.tau());
-    let radii_tree = comm.allgatherv(&my_radii);
-    GbResult { energy_kcal, born_radii: sys.radii_to_original(&radii_tree) }
+    let radii_tree = comm.try_allgatherv(&my_radii)?;
+    Ok(GbResult { energy_kcal, born_radii: sys.radii_to_original(&radii_tree) })
 }
 
 #[cfg(test)]
@@ -584,6 +615,22 @@ mod tests {
         let (_, report) = run_data_distributed(&sys, &SimCluster::single_node(), 4);
         // p2p halo messages show up in bytes_moved beyond the collectives
         assert!(report.ledgers.iter().any(|l| l.comm_ops > 4));
+    }
+
+    #[test]
+    fn dropped_halo_message_degrades_to_typed_error() {
+        // lose rank 0's halo *response* to rank 1 (the second 0→1 message:
+        // request lists travel first): rank 1's receive must time out with
+        // diagnostics instead of wedging the job
+        let sys = system(400);
+        let cluster = SimCluster::single_node()
+            .with_collective_timeout(std::time::Duration::from_millis(300))
+            .with_fault_plan(gb_cluster::FaultPlan::new().drop_p2p(0, 1, 1));
+        let err = try_run_data_distributed(&sys, &cluster, 3)
+            .expect_err("lost halo message must fail the job");
+        let crate::error::GbError::Comm(e) = &err;
+        assert!(e.is_timeout(), "{err}");
+        assert_eq!(e.rank_states.len(), 3, "{err}");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! 7. reduce of the partial energies to the master.
 
 use crate::energy::energy_for_leaves;
+use crate::error::GbError;
 use crate::fastmath::{ApproxMath, ExactMath, MathMode};
 use crate::gbmath::{finalize_energy, RadiiApprox, R4, R6};
 use crate::integrals::{push_integrals_into, IntegralAcc};
@@ -23,25 +24,45 @@ use crate::params::{MathKind, RadiiKind};
 use crate::runners::{bin_build_work, bins_for, with_kernels};
 use crate::system::{GbResult, GbSystem};
 use crate::workdiv::{atom_segments, work_balanced_segments, WorkDivision};
-use gb_cluster::{Comm, RunReport, SimCluster};
+use gb_cluster::{Comm, CommError, RunReport, SimCluster};
 
 /// Runs the 7-step distributed algorithm on `ranks` single-threaded ranks.
 ///
 /// Returns the master's result and the cluster accounting report. The
 /// energy is identical on every rank (deterministic rank-order reduction),
 /// and — for node-based division — identical to the serial runner's.
+///
+/// Panics if the cluster runtime fails beneath the job; use
+/// [`try_run_distributed`] to get a typed [`GbError`] instead.
 pub fn run_distributed(
     sys: &GbSystem,
     cluster: &SimCluster,
     ranks: usize,
     division: WorkDivision,
 ) -> (GbResult, RunReport) {
-    let (mut results, report) =
-        cluster.run(ranks, 1, |comm| rank_body_dispatch(sys, comm, division));
-    (results.swap_remove(0), report)
+    try_run_distributed(sys, cluster, ranks, division)
+        .unwrap_or_else(|e| panic!("distributed run failed: {e}"))
 }
 
-fn rank_body_dispatch(sys: &GbSystem, comm: &mut Comm, division: WorkDivision) -> GbResult {
+/// Fallible variant of [`run_distributed`]: a rank death, injected fault
+/// or collective timeout degrades into a [`GbError`] carrying every rank's
+/// last-op diagnostics, instead of panicking the process.
+pub fn try_run_distributed(
+    sys: &GbSystem,
+    cluster: &SimCluster,
+    ranks: usize,
+    division: WorkDivision,
+) -> Result<(GbResult, RunReport), GbError> {
+    let (mut results, report) =
+        cluster.try_run(ranks, 1, |comm| rank_body_dispatch(sys, comm, division))?;
+    Ok((results.swap_remove(0), report))
+}
+
+fn rank_body_dispatch(
+    sys: &GbSystem,
+    comm: &mut Comm,
+    division: WorkDivision,
+) -> Result<GbResult, CommError> {
     with_kernels!(sys.params, M, K => rank_body::<M, K>(sys, comm, division))
 }
 
@@ -51,7 +72,7 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
     sys: &GbSystem,
     comm: &mut Comm,
     division: WorkDivision,
-) -> GbResult {
+) -> Result<GbResult, CommError> {
     let rank = comm.rank();
     let p = comm.size();
 
@@ -90,7 +111,7 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
 
     // Step 3: combine partial integrals.
     let mut flat = acc.to_flat();
-    comm.allreduce_sum(&mut flat);
+    comm.try_allreduce_sum(&mut flat)?;
     let acc = IntegralAcc::from_flat(&flat, sys.ta.num_nodes());
     drop(flat);
 
@@ -103,7 +124,7 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
 
     // Step 5: allgather radii (variable-length segments, rank order ==
     // atom-segment order, so concatenation is the full tree-order vector).
-    let radii_tree = comm.allgatherv(&local);
+    let radii_tree = comm.try_allgatherv(&local)?;
     debug_assert_eq!(radii_tree.len(), sys.num_atoms());
     drop(local);
 
@@ -143,10 +164,10 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
     // Step 7: master accumulates partial energies; broadcast back so every
     // rank returns the same result (convenient for callers and tests).
     let mut total = vec![raw];
-    comm.allreduce_sum(&mut total);
+    comm.try_allreduce_sum(&mut total)?;
     let energy_kcal = finalize_energy(total[0], sys.params.tau());
 
-    GbResult { energy_kcal, born_radii: sys.radii_to_original(&radii_tree) }
+    Ok(GbResult { energy_kcal, born_radii: sys.radii_to_original(&radii_tree) })
 }
 
 /// Q-leaf traversal clipped to an atom range (atom-based division): only
@@ -303,6 +324,41 @@ mod tests {
         }
         // load imbalance should be moderate for leaf-count division
         assert!(report.imbalance() < 3.0, "imbalance {}", report.imbalance());
+    }
+
+    #[test]
+    fn injected_fault_degrades_to_typed_error() {
+        // a rank killed mid-job must surface as GbError::Comm with
+        // per-rank diagnostics, not a panic or a hang
+        let s = sys(300);
+        let cluster = SimCluster::single_node()
+            .with_fault_plan(gb_cluster::FaultPlan::new().kill_rank(1, 0));
+        let err = crate::runners::try_run_distributed(&s, &cluster, 4, WorkDivision::NodeNode)
+            .expect_err("killed rank must fail the job");
+        let crate::error::GbError::Comm(e) = &err;
+        assert_eq!(e.rank, 1, "{err}");
+        assert_eq!(e.rank_states.len(), 4, "{err}");
+        // and the fault-free path still works on the same cluster config
+        // minus the plan
+        let ok = crate::runners::try_run_distributed(
+            &s,
+            &SimCluster::single_node(),
+            4,
+            WorkDivision::NodeNode,
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn try_run_matches_run_on_fault_free_path() {
+        let s = sys(300);
+        let cluster = SimCluster::single_node();
+        let (plain, _) = run_distributed(&s, &cluster, 3, WorkDivision::NodeNode);
+        let (fallible, _) =
+            crate::runners::try_run_distributed(&s, &cluster, 3, WorkDivision::NodeNode)
+                .expect("fault-free");
+        assert_eq!(plain.energy_kcal.to_bits(), fallible.energy_kcal.to_bits());
+        assert_eq!(plain.born_radii, fallible.born_radii);
     }
 
     #[test]

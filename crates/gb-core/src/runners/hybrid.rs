@@ -8,6 +8,7 @@
 //! Worker partials merge in worker order, so the rank's contribution — and
 //! therefore the final energy — is identical to the distributed runner's.
 
+use crate::error::GbError;
 use crate::fastmath::{ApproxMath, ExactMath, MathMode};
 use crate::gbmath::{finalize_energy, RadiiApprox, R4, R6};
 use crate::integrals::{push_integrals_into, IntegralAcc};
@@ -16,12 +17,15 @@ use crate::params::{MathKind, RadiiKind};
 use crate::runners::{bin_build_work, bins_for, with_kernels};
 use crate::system::{GbResult, GbSystem};
 use crate::workdiv::{atom_segments, work_balanced_segments, WorkDivision};
-use gb_cluster::{Comm, RunReport, SimCluster, StealPool};
+use gb_cluster::{Comm, CommError, RunReport, SimCluster, StealPool};
 use parking_lot::Mutex;
 
 /// Runs the hybrid algorithm: `ranks` ranks × `threads_per_rank` stealing
 /// workers (the paper's production shape on Lonestar4: 2 ranks × 6 threads
 /// per node).
+///
+/// Panics if the cluster runtime fails beneath the job; use
+/// [`try_run_hybrid`] to get a typed [`GbError`] instead.
 pub fn run_hybrid(
     sys: &GbSystem,
     cluster: &SimCluster,
@@ -29,18 +33,31 @@ pub fn run_hybrid(
     threads_per_rank: usize,
     division: WorkDivision,
 ) -> (GbResult, RunReport) {
+    try_run_hybrid(sys, cluster, ranks, threads_per_rank, division)
+        .unwrap_or_else(|e| panic!("hybrid run failed: {e}"))
+}
+
+/// Fallible variant of [`run_hybrid`]: rank failures degrade into a
+/// [`GbError`] with per-rank diagnostics instead of panicking.
+pub fn try_run_hybrid(
+    sys: &GbSystem,
+    cluster: &SimCluster,
+    ranks: usize,
+    threads_per_rank: usize,
+    division: WorkDivision,
+) -> Result<(GbResult, RunReport), GbError> {
     assert!(threads_per_rank >= 1);
-    let (mut results, report) = cluster.run(ranks, threads_per_rank, |comm| {
+    let (mut results, report) = cluster.try_run(ranks, threads_per_rank, |comm| {
         with_kernels!(sys.params, M, K => hybrid_rank_body::<M, K>(sys, comm, division))
-    });
-    (results.swap_remove(0), report)
+    })?;
+    Ok((results.swap_remove(0), report))
 }
 
 fn hybrid_rank_body<M: MathMode, K: RadiiApprox>(
     sys: &GbSystem,
     comm: &mut Comm,
     division: WorkDivision,
-) -> GbResult {
+) -> Result<GbResult, CommError> {
     let rank = comm.rank();
     let p = comm.size();
     let threads = comm.threads_per_rank();
@@ -82,7 +99,7 @@ fn hybrid_rank_body<M: MathMode, K: RadiiApprox>(
 
     // ---- Step 3: allreduce.
     let mut flat = acc.to_flat();
-    comm.allreduce_sum(&mut flat);
+    comm.try_allreduce_sum(&mut flat)?;
     let acc = IntegralAcc::from_flat(&flat, sys.ta.num_nodes());
     drop(flat);
 
@@ -110,7 +127,7 @@ fn hybrid_rank_body<M: MathMode, K: RadiiApprox>(
     drop(push_parts);
 
     // ---- Step 5: allgather radii.
-    let radii_tree = comm.allgatherv(&local);
+    let radii_tree = comm.try_allgatherv(&local)?;
     drop(local);
 
     // ---- Step 6: energy over this rank's T_A leaf-ordinal segment via
@@ -141,10 +158,10 @@ fn hybrid_rank_body<M: MathMode, K: RadiiApprox>(
 
     // ---- Step 7: combine.
     let mut total = vec![raw];
-    comm.allreduce_sum(&mut total);
+    comm.try_allreduce_sum(&mut total)?;
     let energy_kcal = finalize_energy(total[0], sys.params.tau());
 
-    GbResult { energy_kcal, born_radii: sys.radii_to_original(&radii_tree) }
+    Ok(GbResult { energy_kcal, born_radii: sys.radii_to_original(&radii_tree) })
 }
 
 #[cfg(test)]

@@ -6,9 +6,9 @@ pub mod hybrid;
 pub mod serial;
 pub mod shared;
 
-pub use data_distributed::run_data_distributed;
-pub use distributed::run_distributed;
-pub use hybrid::run_hybrid;
+pub use data_distributed::{run_data_distributed, try_run_data_distributed};
+pub use distributed::{run_distributed, try_run_distributed};
+pub use hybrid::{run_hybrid, try_run_hybrid};
 pub use serial::run_serial;
 pub use shared::run_shared;
 

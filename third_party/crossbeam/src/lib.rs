@@ -8,7 +8,7 @@
 pub mod channel {
     //! Unbounded channel with crossbeam's `unbounded()` constructor.
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// Sending half; clonable and shareable across threads.
     #[derive(Debug)]
@@ -40,6 +40,12 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.0.try_recv()
+        }
+
+        /// Blocks until a message arrives, all senders are dropped, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
     }
 

@@ -58,6 +58,17 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 #[derive(Debug, Default)]
 pub struct Condvar(std::sync::Condvar);
 
+/// Result of a timed condvar wait, mirroring parking_lot's type.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait gave up because the deadline passed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 impl Condvar {
     /// Creates a condition variable.
     pub const fn new() -> Condvar {
@@ -68,6 +79,26 @@ impl Condvar {
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.0.take().expect("guard already taken");
         guard.0 = Some(self.0.wait(inner).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Like [`Condvar::wait`], but gives up once `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: std::time::Instant,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard already taken");
+        let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+        let (inner, result) =
+            match self.0.wait_timeout(inner, timeout) {
+                Ok((g, r)) => (g, r),
+                Err(e) => {
+                    let (g, r) = e.into_inner();
+                    (g, r)
+                }
+            };
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
     }
 
     /// Wakes all waiting threads.
