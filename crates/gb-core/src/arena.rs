@@ -1,0 +1,253 @@
+//! Reusable phase arenas — the "allocation-free superstep" layer.
+//!
+//! A [`Workspace`] owns every buffer the pipeline phases need between
+//! supersteps: the interaction lists (rebuilt in place), the walk scratch,
+//! the integral accumulators, the Born-radii vectors, the charge bins and
+//! the work-division ranges. Running a step through the `_ws` runner
+//! variants (e.g. [`run_serial_ws`](crate::runners::serial::run_serial_ws))
+//! touches the heap only until the capacities warm to the problem size;
+//! after that a steady-state superstep performs **zero allocations** on the
+//! serial path (verified by `tests/zero_alloc.rs`).
+//!
+//! Exclusions from the zero-alloc contract, by design:
+//! * spawning scope threads for the parallel list build (`build_tasks > 1`)
+//!   allocates inside `std::thread`;
+//! * the simulated collectives (`allreduce`, `allgatherv`) return fresh
+//!   vectors, as a real MPI library would manage its own buffers;
+//! * the work-stealing pool's per-worker slots in the hybrid runner.
+
+use crate::bins::ChargeBins;
+use crate::integrals::IntegralAcc;
+use crate::interaction::{BornLists, EnergyLists, ListScratch};
+use gb_octree::NodeId;
+use parking_lot::Mutex;
+use std::ops::Range;
+
+/// Per-chunk scratch for the shared-memory runner: one slot per work
+/// chunk, locked only by the worker executing that chunk (and by the
+/// deterministic in-order merge afterwards).
+pub struct ChunkSlot {
+    /// Partial integral accumulator of the chunk's Born range.
+    pub acc: IntegralAcc,
+    /// Work units recorded while filling `acc`.
+    pub acc_work: f64,
+    /// Born radii of the chunk's atom range (`radii[i]` = tree position
+    /// `range.start + i`).
+    pub radii: Vec<f64>,
+    /// Work units of the chunk's push traversal.
+    pub push_work: f64,
+    /// Traversal stack of the chunk's push phase.
+    pub push_stack: Vec<(NodeId, f64)>,
+    /// Partial raw energy of the chunk's leaf range.
+    pub raw: f64,
+    /// Work units of the chunk's energy execution.
+    pub energy_work: f64,
+}
+
+impl ChunkSlot {
+    fn new() -> ChunkSlot {
+        ChunkSlot {
+            acc: IntegralAcc::empty(),
+            acc_work: 0.0,
+            radii: Vec::new(),
+            push_work: 0.0,
+            push_stack: Vec::new(),
+            raw: 0.0,
+            energy_work: 0.0,
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.acc.memory_bytes()
+            + self.radii.capacity() * std::mem::size_of::<f64>()
+            + self.push_stack.capacity() * std::mem::size_of::<(NodeId, f64)>()
+    }
+}
+
+/// Result of a workspace-backed pipeline step. The Born radii stay in the
+/// workspace (`radii_out`, original atom order) so the steady-state step
+/// returns only scalars.
+#[derive(Clone, Copy, Debug)]
+pub struct WsOutput {
+    /// Polarization energy in kcal/mol.
+    pub energy_kcal: f64,
+    /// Work units of the Born phase (list build + execution + push).
+    pub born_work: f64,
+    /// Work units of the energy phase (list build + execution).
+    pub energy_work: f64,
+}
+
+/// All reusable state of one pipeline instance. See the module docs for
+/// the allocation contract.
+pub struct Workspace {
+    /// Born-phase interaction lists, rebuilt in place each superstep.
+    pub born: BornLists,
+    /// Energy-phase interaction lists, rebuilt in place each superstep.
+    pub energy: EnergyLists,
+    /// Walk scratch of the Born list build.
+    pub born_scratch: ListScratch,
+    /// Walk scratch of the energy list build.
+    pub energy_scratch: ListScratch,
+    /// Integral accumulators (full system size).
+    pub acc: IntegralAcc,
+    /// Energy-phase charge bins, recomputed in place.
+    pub bins: ChargeBins,
+    /// Born radii in `T_A` tree order (also doubles as the per-rank push
+    /// buffer in the distributed runners).
+    pub radii_tree: Vec<f64>,
+    /// Born radii in original atom order — the step's vector result.
+    pub radii_out: Vec<f64>,
+    /// Traversal stack of the push phase.
+    pub push_stack: Vec<(NodeId, f64)>,
+    /// Plain node stack for clipped traversals (atom-based division).
+    pub node_stack: Vec<NodeId>,
+    /// Flat accumulator image for the allreduce step.
+    pub flat: Vec<f64>,
+    /// Work-balanced driving-leaf segments.
+    pub seg_ranges: Vec<Range<usize>>,
+    /// Even atom segments of the push phase.
+    pub atom_ranges: Vec<Range<usize>>,
+    /// Even leaf segments of the energy phase.
+    pub leaf_ranges: Vec<Range<usize>>,
+    /// Per-chunk slots of the shared-memory runner.
+    pub slots: Vec<Mutex<ChunkSlot>>,
+    /// Task count for the parallel list builds (the result is byte-identical
+    /// for any value; `1` keeps the build on the calling thread and inside
+    /// the zero-alloc contract).
+    pub build_tasks: usize,
+}
+
+impl Workspace {
+    /// Fresh workspace with no warmed buffers and `build_tasks == 1`.
+    pub fn new() -> Workspace {
+        Workspace {
+            born: BornLists::empty(),
+            energy: EnergyLists::empty(),
+            born_scratch: ListScratch::new(),
+            energy_scratch: ListScratch::new(),
+            acc: IntegralAcc::empty(),
+            bins: ChargeBins::empty(),
+            radii_tree: Vec::new(),
+            radii_out: Vec::new(),
+            push_stack: Vec::new(),
+            node_stack: Vec::new(),
+            flat: Vec::new(),
+            seg_ranges: Vec::new(),
+            atom_ranges: Vec::new(),
+            leaf_ranges: Vec::new(),
+            slots: Vec::new(),
+            build_tasks: 1,
+        }
+    }
+
+    /// Fresh workspace that builds its lists with `tasks` range-walks.
+    pub fn with_build_tasks(tasks: usize) -> Workspace {
+        let mut ws = Workspace::new();
+        ws.build_tasks = tasks.max(1);
+        ws
+    }
+
+    /// Grows the chunk-slot pool to at least `n` entries (never shrinks —
+    /// slot capacities stay warm across supersteps).
+    pub fn ensure_slots(&mut self, n: usize) {
+        while self.slots.len() < n {
+            self.slots.push(Mutex::new(ChunkSlot::new()));
+        }
+    }
+
+    /// Heap footprint in bytes across every component arena.
+    pub fn memory_bytes(&self) -> usize {
+        self.born.memory_bytes()
+            + self.energy.memory_bytes()
+            + self.born_scratch.memory_bytes()
+            + self.energy_scratch.memory_bytes()
+            + self.acc.memory_bytes()
+            + self.bins.memory_bytes()
+            + (self.radii_tree.capacity() + self.radii_out.capacity() + self.flat.capacity())
+                * std::mem::size_of::<f64>()
+            + self.push_stack.capacity() * std::mem::size_of::<(NodeId, f64)>()
+            + self.node_stack.capacity() * std::mem::size_of::<NodeId>()
+            + (self.seg_ranges.capacity()
+                + self.atom_ranges.capacity()
+                + self.leaf_ranges.capacity())
+                * std::mem::size_of::<Range<usize>>()
+            + self.slots.iter().map(|s| s.lock().memory_bytes()).sum::<usize>()
+            + self.slots.capacity() * std::mem::size_of::<Mutex<ChunkSlot>>()
+    }
+}
+
+impl Default for Workspace {
+    fn default() -> Workspace {
+        Workspace::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GbParams;
+    use crate::runners::serial::{run_serial, run_serial_ws};
+    use crate::system::GbSystem;
+    use gb_molecule::{synthesize_protein, SyntheticParams};
+
+    fn sys(n: usize) -> GbSystem {
+        let mol = synthesize_protein(&SyntheticParams::with_atoms(n, 33));
+        GbSystem::prepare(mol, GbParams::default())
+    }
+
+    #[test]
+    fn workspace_run_is_bitwise_identical_to_plain_serial() {
+        let s = sys(400);
+        let plain = run_serial(&s);
+        let mut ws = Workspace::new();
+        for _ in 0..2 {
+            // twice: the second pass runs over warmed buffers
+            let out = run_serial_ws(&s, &mut ws);
+            assert_eq!(plain.result.energy_kcal.to_bits(), out.energy_kcal.to_bits());
+            assert_eq!(plain.born_work.to_bits(), out.born_work.to_bits());
+            assert_eq!(plain.energy_work.to_bits(), out.energy_work.to_bits());
+            for (a, b) in plain.result.born_radii.iter().zip(&ws.radii_out) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_survives_changing_system_sizes() {
+        let mut ws = Workspace::new();
+        for n in [250usize, 60, 400] {
+            let s = sys(n);
+            let plain = run_serial(&s);
+            let out = run_serial_ws(&s, &mut ws);
+            assert_eq!(plain.result.energy_kcal.to_bits(), out.energy_kcal.to_bits(), "n={n}");
+            assert_eq!(ws.radii_out.len(), n);
+        }
+    }
+
+    #[test]
+    fn parallel_build_tasks_give_the_same_bits() {
+        let s = sys(350);
+        let mut ws1 = Workspace::new();
+        let mut ws4 = Workspace::with_build_tasks(4);
+        let o1 = run_serial_ws(&s, &mut ws1);
+        let o4 = run_serial_ws(&s, &mut ws4);
+        assert_eq!(o1.energy_kcal.to_bits(), o4.energy_kcal.to_bits());
+        assert_eq!(o1.born_work.to_bits(), o4.born_work.to_bits());
+        for (a, b) in ws1.radii_out.iter().zip(&ws4.radii_out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn memory_bytes_grows_after_warming() {
+        let s = sys(300);
+        let mut ws = Workspace::new();
+        let cold = ws.memory_bytes();
+        run_serial_ws(&s, &mut ws);
+        let warm = ws.memory_bytes();
+        assert!(warm > cold, "warming must materialize arenas: {cold} -> {warm}");
+        // a second run must not grow the footprint
+        run_serial_ws(&s, &mut ws);
+        assert_eq!(ws.memory_bytes(), warm);
+    }
+}

@@ -57,10 +57,26 @@ fn nonzero_lists(
     num_bins: usize,
     bin_radius: &[f64],
 ) -> (Vec<u32>, Vec<f64>, Vec<f64>) {
-    let n_nodes = hist.len() / num_bins;
-    let mut nz_off = Vec::with_capacity(n_nodes + 1);
+    let mut nz_off = Vec::new();
     let mut nz_charge = Vec::new();
     let mut nz_radius = Vec::new();
+    nonzero_lists_into(hist, num_bins, bin_radius, &mut nz_off, &mut nz_charge, &mut nz_radius);
+    (nz_off, nz_charge, nz_radius)
+}
+
+/// [`nonzero_lists`] into reused buffers (cleared, capacity kept).
+fn nonzero_lists_into(
+    hist: &[f64],
+    num_bins: usize,
+    bin_radius: &[f64],
+    nz_off: &mut Vec<u32>,
+    nz_charge: &mut Vec<f64>,
+    nz_radius: &mut Vec<f64>,
+) {
+    let n_nodes = hist.len() / num_bins.max(1);
+    nz_off.clear();
+    nz_charge.clear();
+    nz_radius.clear();
     nz_off.push(0u32);
     for node in 0..n_nodes {
         let row = &hist[node * num_bins..(node + 1) * num_bins];
@@ -72,16 +88,11 @@ fn nonzero_lists(
         }
         nz_off.push(nz_charge.len() as u32);
     }
-    (nz_off, nz_charge, nz_radius)
 }
 
-/// Bin geometry shared by the replicated and distributed builders.
-fn bin_geometry(
-    mut r_min: f64,
-    mut r_max: f64,
-    eps: f64,
-    placement: BinPlacement,
-) -> (f64, f64, usize, Vec<f64>) {
+/// Scalar bin geometry (`r_min`, `ln` base, bin count) shared by the
+/// replicated and distributed builders.
+fn bin_geometry_scalars(mut r_min: f64, mut r_max: f64, eps: f64) -> (f64, f64, usize) {
     if !r_min.is_finite() || r_min <= 0.0 {
         r_min = 1.0;
         r_max = 1.0;
@@ -97,6 +108,17 @@ fn bin_geometry(
         num_bins = MAX_BINS;
         log_base = (r_max / r_min).ln() / (MAX_BINS as f64 - 1.0).max(1.0) + f64::EPSILON;
     }
+    (r_min, log_base, num_bins)
+}
+
+/// Bin geometry shared by the replicated and distributed builders.
+fn bin_geometry(
+    r_min: f64,
+    r_max: f64,
+    eps: f64,
+    placement: BinPlacement,
+) -> (f64, f64, usize, Vec<f64>) {
+    let (r_min, log_base, num_bins) = bin_geometry_scalars(r_min, r_max, eps);
     let offset = match placement {
         BinPlacement::LowerEdge => 0.0,
         BinPlacement::GeometricMean => 0.5,
@@ -107,6 +129,21 @@ fn bin_geometry(
 }
 
 impl ChargeBins {
+    /// Empty bins holding no nodes — a reusable slot for
+    /// [`ChargeBins::recompute`].
+    pub fn empty() -> ChargeBins {
+        ChargeBins {
+            r_min: 1.0,
+            log_base: 1.0,
+            num_bins: 0,
+            hist: Vec::new(),
+            bin_radius: Vec::new(),
+            nz_off: Vec::new(),
+            nz_charge: Vec::new(),
+            nz_radius: Vec::new(),
+        }
+    }
+
     /// Builds histograms for every `T_A` node from Born radii in **tree
     /// order**, with the energy-phase ε of `sys.params`.
     pub fn compute(sys: &GbSystem, radii_tree: &[f64]) -> ChargeBins {
@@ -121,17 +158,45 @@ impl ChargeBins {
         radii_tree: &[f64],
         placement: BinPlacement,
     ) -> ChargeBins {
+        let mut bins = Self::empty();
+        bins.recompute_with_placement(sys, radii_tree, placement);
+        bins
+    }
+
+    /// Recomputes in place, reusing every buffer (allocation-free once the
+    /// capacities have warmed to the problem size).
+    pub fn recompute(&mut self, sys: &GbSystem, radii_tree: &[f64]) {
+        self.recompute_with_placement(sys, radii_tree, BinPlacement::LowerEdge);
+    }
+
+    /// In-place [`ChargeBins::compute_with_placement`].
+    pub fn recompute_with_placement(
+        &mut self,
+        sys: &GbSystem,
+        radii_tree: &[f64],
+        placement: BinPlacement,
+    ) {
         assert_eq!(radii_tree.len(), sys.num_atoms());
         let (mut lo, mut hi) = (f64::INFINITY, 0.0_f64);
         for &r in radii_tree {
             lo = lo.min(r);
             hi = hi.max(r);
         }
-        let (r_min, log_base, num_bins, bin_radius) =
-            bin_geometry(lo, hi, sys.params.eps_energy, placement);
+        let offset = match placement {
+            BinPlacement::LowerEdge => 0.0,
+            BinPlacement::GeometricMean => 0.5,
+        };
+        let (r_min, log_base, num_bins) = bin_geometry_scalars(lo, hi, sys.params.eps_energy);
+        self.r_min = r_min;
+        self.log_base = log_base;
+        self.num_bins = num_bins;
+        self.bin_radius.clear();
+        self.bin_radius
+            .extend((0..num_bins).map(|k| r_min * ((k as f64 + offset) * log_base).exp()));
 
         let n_nodes = sys.ta.num_nodes();
-        let mut hist = vec![0.0; n_nodes * num_bins];
+        self.hist.clear();
+        self.hist.resize(n_nodes * num_bins, 0.0);
         let bin_of = |r: f64| -> usize {
             (((r / r_min).ln() / log_base) as usize).min(num_bins - 1)
         };
@@ -142,19 +207,26 @@ impl ChargeBins {
             if node.is_leaf() {
                 for pos in node.range() {
                     let k = bin_of(radii_tree[pos]);
-                    hist[base + k] += sys.charge_tree[pos];
+                    self.hist[base + k] += sys.charge_tree[pos];
                 }
             } else {
                 for c in node.children() {
                     let cbase = c as usize * num_bins;
                     for k in 0..num_bins {
-                        hist[base + k] += hist[cbase + k];
+                        let v = self.hist[cbase + k];
+                        self.hist[base + k] += v;
                     }
                 }
             }
         }
-        let (nz_off, nz_charge, nz_radius) = nonzero_lists(&hist, num_bins, &bin_radius);
-        ChargeBins { r_min, log_base, num_bins, hist, bin_radius, nz_off, nz_charge, nz_radius }
+        nonzero_lists_into(
+            &self.hist,
+            num_bins,
+            &self.bin_radius,
+            &mut self.nz_off,
+            &mut self.nz_charge,
+            &mut self.nz_radius,
+        );
     }
 
     /// Distributed builder: every rank contributes only its own atoms'

@@ -14,9 +14,31 @@
 //!
 //! Kernels are generic over [`MathMode`], so the compiler monomorphizes the
 //! traversals — no per-term branch on the math kind.
+//!
+//! A third mode, [`VectorMath`], targets the SIMD microkernel layer
+//! ([`crate::simd`]): IEEE `1/√` but a ≲2-ulp polynomial exponential whose
+//! packed AVX2 form is bit-identical to its scalar form, so chunked loops
+//! and their scalar tails agree exactly (see DESIGN.md, "Vectorization &
+//! determinism").
 
 /// Math kernel interface the GB kernels are generic over.
 pub trait MathMode: Copy + Send + Sync + 'static {
+    /// Short name for reports and bench JSON.
+    const NAME: &'static str;
+    /// True when `inv_cube`/`inv_sq` are the default IEEE bodies — the
+    /// precondition for the packed AVX2 surface-integral kernel, which
+    /// mirrors those exact operation sequences.
+    const IEEE_INTEGRANDS: bool;
+    /// True when the Born-radius conversion may use the 4-lane Newton
+    /// `x^(−1/3)` ([`crate::simd::recip_cbrt4`], ulp-bounded vs `powf`)
+    /// instead of the scalar libm path. Only [`VectorMath`] opts in;
+    /// `ExactMath`/`ApproxMath` radii stay bit-for-bit untouched.
+    const LANE_RADIUS: bool;
+    /// True when the packed energy near-row kernel
+    /// ([`crate::simd::energy_row4`]) is valid for this mode — i.e. `exp`
+    /// is the polynomial [`crate::simd::poly_exp`] and `rsqrt` is IEEE, the
+    /// sequences the packed kernel mirrors. Only [`VectorMath`] opts in.
+    const LANE_ENERGY: bool;
     /// `1/√x` for `x > 0`.
     fn rsqrt(x: f64) -> f64;
     /// `e^x`.
@@ -32,6 +54,37 @@ pub trait MathMode: Copy + Send + Sync + 'static {
     fn inv_sq(x: f64) -> f64 {
         1.0 / (x * x)
     }
+    /// Four independent `1/f_GB` evaluations (Still equation, reciprocal
+    /// form). The default is four scalar evaluations — bit-identical to
+    /// calling `gbmath::inv_f_gb` per lane — so every mode can be driven
+    /// through the chunked energy kernels; `VectorMath` overrides with the
+    /// packed kernel.
+    #[inline(always)]
+    fn inv_f_gb4(r_sq: [f64; 4], ri_rj: [f64; 4]) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        for l in 0..4 {
+            out[l] = Self::rsqrt(r_sq[l] + ri_rj[l] * Self::exp(-r_sq[l] / (4.0 * ri_rj[l])));
+        }
+        out
+    }
+
+    /// Eight independent `1/f_GB` evaluations — the far-pair flush width.
+    /// The default is two [`MathMode::inv_f_gb4`] halves (so lane `l`
+    /// always equals the 4-lane and scalar kernels bit for bit);
+    /// `VectorMath` overrides with the packed dispatcher, which runs one
+    /// ZMM register at the `Avx512` level.
+    #[inline(always)]
+    fn inv_f_gb8(r_sq: [f64; 8], ri_rj: [f64; 8]) -> [f64; 8] {
+        let lo = Self::inv_f_gb4(
+            [r_sq[0], r_sq[1], r_sq[2], r_sq[3]],
+            [ri_rj[0], ri_rj[1], ri_rj[2], ri_rj[3]],
+        );
+        let hi = Self::inv_f_gb4(
+            [r_sq[4], r_sq[5], r_sq[6], r_sq[7]],
+            [ri_rj[4], ri_rj[5], ri_rj[6], ri_rj[7]],
+        );
+        [lo[0], lo[1], lo[2], lo[3], hi[0], hi[1], hi[2], hi[3]]
+    }
 }
 
 /// IEEE math (paper: "approximate math off").
@@ -39,6 +92,10 @@ pub trait MathMode: Copy + Send + Sync + 'static {
 pub struct ExactMath;
 
 impl MathMode for ExactMath {
+    const NAME: &'static str = "exact";
+    const IEEE_INTEGRANDS: bool = true;
+    const LANE_RADIUS: bool = false;
+    const LANE_ENERGY: bool = false;
     #[inline(always)]
     fn rsqrt(x: f64) -> f64 {
         1.0 / x.sqrt()
@@ -49,11 +106,46 @@ impl MathMode for ExactMath {
     }
 }
 
+/// SIMD-friendly math: IEEE `1/√x` (correctly rounded, like `ExactMath`)
+/// plus the ≲2-ulp polynomial exponential from [`crate::simd`], whose
+/// packed AVX2 form replays the identical operation sequence. Energies
+/// agree with `ExactMath` to ≲1e-14 relative; results are bit-identical
+/// across SIMD levels and thread counts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VectorMath;
+
+impl MathMode for VectorMath {
+    const NAME: &'static str = "vector";
+    const IEEE_INTEGRANDS: bool = true;
+    const LANE_RADIUS: bool = true;
+    const LANE_ENERGY: bool = true;
+    #[inline(always)]
+    fn rsqrt(x: f64) -> f64 {
+        1.0 / x.sqrt()
+    }
+    #[inline(always)]
+    fn exp(x: f64) -> f64 {
+        crate::simd::poly_exp(x)
+    }
+    #[inline(always)]
+    fn inv_f_gb4(r_sq: [f64; 4], ri_rj: [f64; 4]) -> [f64; 4] {
+        crate::simd::inv_f_gb4(r_sq, ri_rj)
+    }
+    #[inline(always)]
+    fn inv_f_gb8(r_sq: [f64; 8], ri_rj: [f64; 8]) -> [f64; 8] {
+        crate::simd::inv_f_gb8(r_sq, ri_rj)
+    }
+}
+
 /// Approximate math (paper: "approximate math on").
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ApproxMath;
 
 impl MathMode for ApproxMath {
+    const NAME: &'static str = "approx";
+    const IEEE_INTEGRANDS: bool = false;
+    const LANE_RADIUS: bool = false;
+    const LANE_ENERGY: bool = false;
     #[inline(always)]
     fn rsqrt(x: f64) -> f64 {
         fast_rsqrt(x)
@@ -172,6 +264,90 @@ mod tests {
             // one-Newton-step rsqrt error (~0.2%) is amplified ×6 by the
             // sixth power
             assert!(rel < 0.02, "x={x}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn fast_exp_relative_error_envelope() {
+        // Schraudolph's trick has a sawtooth relative error; with the
+        // error-balancing shift C its envelope is ±~3%. Pin a 4% bound
+        // over the whole representable-output input range [-700, 700],
+        // mirroring the fast_rsqrt accuracy test.
+        let mut worst: f64 = 0.0;
+        for i in -70_000..=70_000 {
+            let x = i as f64 * 0.01;
+            let want = x.exp();
+            if want < 1e-280 || !want.is_finite() {
+                continue; // near the flush-to-zero cutoff / overflow
+            }
+            let got = fast_exp(x);
+            let rel = ((got - want) / want).abs();
+            worst = worst.max(rel);
+        }
+        assert!(worst < 0.04, "worst rel err {worst}");
+        // the envelope is not vacuous: the sawtooth really does approach
+        // its ±3% peaks somewhere in the range
+        assert!(worst > 0.02, "envelope suspiciously tight: {worst}");
+    }
+
+    #[test]
+    fn fast_exp_flushes_to_zero_below_cutoff() {
+        for x in [-700.1, -800.0, -1e6, f64::NEG_INFINITY] {
+            assert_eq!(fast_exp(x), 0.0, "x={x}");
+        }
+        // just above the cutoff it is tiny but positive
+        assert!(fast_exp(-699.0) > 0.0);
+    }
+
+    #[test]
+    fn fast_exp_monotone_on_gb_range() {
+        // GB arguments are ≤ 0; the bit-trick must preserve ordering there
+        let mut last = -1.0;
+        for i in (0..=6000).rev() {
+            let x = -i as f64 * 0.1;
+            let y = fast_exp(x);
+            assert!(y >= last, "x={x}: {y} < {last}");
+            last = y;
+        }
+    }
+
+    #[test]
+    fn vector_mode_matches_exact_to_ulps() {
+        for i in 0..200 {
+            let x = -50.0 * i as f64 / 200.0;
+            let got = VectorMath::exp(x);
+            let want = x.exp();
+            if want == 0.0 {
+                continue;
+            }
+            assert!(((got - want) / want).abs() < 1e-14, "x={x}");
+        }
+        assert_eq!(VectorMath::rsqrt(4.0), 0.5);
+        // lane kernel default vs override agree to ulps
+        let r_sq = [1.0, 4.0, 9.0, 25.0];
+        let rr = [2.0, 3.0, 1.5, 8.0];
+        let lanes = VectorMath::inv_f_gb4(r_sq, rr);
+        for l in 0..4 {
+            let want = crate::gbmath::inv_f_gb::<ExactMath>(r_sq[l], rr[l]);
+            assert!(((lanes[l] - want) / want).abs() < 1e-14, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn default_inv_f_gb4_is_per_lane_scalar() {
+        let r_sq = [0.5, 2.0, 10.0, 40.0];
+        let rr = [1.0, 2.5, 4.0, 0.7];
+        for l in 0..4 {
+            let exact = ExactMath::inv_f_gb4(r_sq, rr)[l];
+            assert_eq!(
+                exact.to_bits(),
+                crate::gbmath::inv_f_gb::<ExactMath>(r_sq[l], rr[l]).to_bits()
+            );
+            let approx = ApproxMath::inv_f_gb4(r_sq, rr)[l];
+            assert_eq!(
+                approx.to_bits(),
+                crate::gbmath::inv_f_gb::<ApproxMath>(r_sq[l], rr[l]).to_bits()
+            );
         }
     }
 

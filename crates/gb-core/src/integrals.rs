@@ -44,6 +44,21 @@ impl IntegralAcc {
         }
     }
 
+    /// Zero-length accumulators — a reusable slot for
+    /// [`IntegralAcc::reset_for`].
+    pub fn empty() -> IntegralAcc {
+        IntegralAcc { node_s: Vec::new(), atom_s: Vec::new() }
+    }
+
+    /// Re-zeroes and re-sizes for a system in place; no heap traffic once
+    /// the capacities have warmed to the problem size.
+    pub fn reset_for(&mut self, sys: &GbSystem) {
+        self.node_s.clear();
+        self.node_s.resize(sys.ta.num_nodes(), 0.0);
+        self.atom_s.clear();
+        self.atom_s.resize(sys.num_atoms(), 0.0);
+    }
+
     /// Element-wise sum (used to merge per-rank / per-chunk partials).
     pub fn add(&mut self, other: &IntegralAcc) {
         assert_eq!(self.node_s.len(), other.node_s.len());
@@ -54,6 +69,35 @@ impl IntegralAcc {
         for (a, b) in self.atom_s.iter_mut().zip(&other.atom_s) {
             *a += *b;
         }
+    }
+
+    /// Re-zeroes both accumulators in place, keeping capacity.
+    pub fn reset(&mut self) {
+        for v in &mut self.node_s {
+            *v = 0.0;
+        }
+        for v in &mut self.atom_s {
+            *v = 0.0;
+        }
+    }
+
+    /// [`IntegralAcc::to_flat`] into a reused buffer.
+    pub fn to_flat_into(&self, flat: &mut Vec<f64>) {
+        flat.clear();
+        flat.extend_from_slice(&self.node_s);
+        flat.extend_from_slice(&self.atom_s);
+    }
+
+    /// Overwrites from the flat representation (lengths must match).
+    pub fn copy_from_flat(&mut self, flat: &[f64]) {
+        let n = self.node_s.len();
+        self.node_s.copy_from_slice(&flat[..n]);
+        self.atom_s.copy_from_slice(&flat[n..]);
+    }
+
+    /// Heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        (self.node_s.capacity() + self.atom_s.capacity()) * std::mem::size_of::<f64>()
     }
 
     /// Flattens into one vector (`node_s ++ atom_s`) for an `allreduce`.
@@ -230,12 +274,31 @@ pub fn push_integrals_into<K: RadiiApprox>(
     range: std::ops::Range<usize>,
     out: &mut [f64],
 ) -> f64 {
+    let mut stack = Vec::new();
+    push_integrals_scratch::<crate::fastmath::ExactMath, K>(sys, acc, range, out, &mut stack)
+}
+
+/// [`push_integrals_into`] with the math mode explicit and the traversal
+/// stack supplied by the caller (allocation-free once warmed). The math
+/// mode only gates the radius conversion: modes with
+/// `MathMode::LANE_RADIUS` (i.e. `VectorMath`) convert four atoms per
+/// [`RadiiApprox::radius4`] call — every atom of a leaf goes through the
+/// same lane kernel, tail lanes padded — while all other modes take the
+/// scalar path, bit-for-bit as before.
+pub fn push_integrals_scratch<M: MathMode, K: RadiiApprox>(
+    sys: &GbSystem,
+    acc: &IntegralAcc,
+    range: std::ops::Range<usize>,
+    out: &mut [f64],
+    stack: &mut Vec<(NodeId, f64)>,
+) -> f64 {
     assert_eq!(out.len(), range.len());
     if sys.ta.is_empty() {
         return 0.0;
     }
     let mut work = 0.0;
-    let mut stack: Vec<(NodeId, f64)> = vec![(Octree::ROOT, 0.0)];
+    stack.clear();
+    stack.push((Octree::ROOT, 0.0));
     while let Some((id, carried)) = stack.pop() {
         let n = sys.ta.node(id);
         // prune nodes disjoint from the assigned range
@@ -245,12 +308,34 @@ pub fn push_integrals_into<K: RadiiApprox>(
         work += TRAVERSAL_UNIT;
         let here = carried + acc.node_s[id as usize];
         if n.is_leaf() {
-            let lo = n.begin as usize;
-            let hi = n.end as usize;
-            for pos in lo.max(range.start)..hi.min(range.end) {
-                let s = here + acc.atom_s[pos];
-                out[pos - range.start] = K::radius(s, sys.vdw_tree[pos], sys.born_cap);
-                work += 1.0;
+            let lo = (n.begin as usize).max(range.start);
+            let hi = (n.end as usize).min(range.end);
+            if M::LANE_RADIUS {
+                let mut pos = lo;
+                while pos < hi {
+                    let take = (hi - pos).min(4);
+                    // pad dead lanes with s = 1 (any positive value: the
+                    // results are discarded, padding only avoids the s ≤ 0
+                    // early-out path doing extra work)
+                    let mut s4 = [1.0f64; 4];
+                    let mut v4 = [1.0f64; 4];
+                    for l in 0..take {
+                        s4[l] = here + acc.atom_s[pos + l];
+                        v4[l] = sys.vdw_tree[pos + l];
+                    }
+                    let r4 = K::radius4(s4, v4, sys.born_cap);
+                    for l in 0..take {
+                        out[pos + l - range.start] = r4[l];
+                        work += 1.0;
+                    }
+                    pos += take;
+                }
+            } else {
+                for pos in lo..hi {
+                    let s = here + acc.atom_s[pos];
+                    out[pos - range.start] = K::radius(s, sys.vdw_tree[pos], sys.born_cap);
+                    work += 1.0;
+                }
             }
         } else {
             for c in n.children() {

@@ -33,6 +33,7 @@ use crate::bins::ChargeBins;
 use crate::fastmath::MathMode;
 use crate::gbmath::{inv_f_gb, RadiiApprox};
 use crate::integrals::{well_separated, IntegralAcc, TRAVERSAL_UNIT};
+use crate::simd::SimdLevel;
 use crate::system::GbSystem;
 use gb_octree::{LeafSpans, Node, NodeId, Octree};
 use std::ops::Range;
@@ -44,47 +45,123 @@ use std::ops::Range;
 const MARGIN: f64 = 1e-9;
 
 /// A list emission recorded during a walk: the interacting node, applied to
-/// the contiguous run `[span_start, span_end)` of driving-leaf ordinals.
+/// a contiguous run `[span_start, span_end)` of driving-leaf ordinals
+/// (task-local coordinates when the walk covers an ordinal range).
 type Emit = (u32, u32, NodeId);
 
-/// Expands span emissions into a CSR layout grouped by driving-leaf
-/// ordinal: `data[off[ord]..off[ord+1]]` lists the partner nodes of leaf
-/// `ord`, in walk emission order.
-fn expand_csr(nleaves: usize, emits: &[Emit]) -> (Vec<usize>, Vec<NodeId>) {
-    let mut diff = vec![0i64; nleaves + 1];
+/// Scratch of one walk task: emission buffers, the step diff array over its
+/// local ordinals, the pair stack, and the traversal units of the pops it
+/// *owns* (see [`ListScratch`]). All buffers are reused across rebuilds.
+#[derive(Clone, Debug, Default)]
+struct WalkSeg {
+    far_emits: Vec<Emit>,
+    near_emits: Vec<Emit>,
+    sdiff: Vec<i64>,
+    stack: Vec<(NodeId, NodeId)>,
+    build_work: f64,
+}
+
+impl WalkSeg {
+    /// Resets for a walk over `nloc` local ordinals, keeping capacity.
+    fn reset(&mut self, nloc: usize) {
+        self.far_emits.clear();
+        self.near_emits.clear();
+        self.sdiff.clear();
+        self.sdiff.resize(nloc + 1, 0);
+        self.stack.clear();
+        self.stack.push((Octree::ROOT, Octree::ROOT));
+        self.build_work = 0.0;
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (self.far_emits.capacity() + self.near_emits.capacity()) * std::mem::size_of::<Emit>()
+            + self.sdiff.capacity() * std::mem::size_of::<i64>()
+            + self.stack.capacity() * std::mem::size_of::<(NodeId, NodeId)>()
+    }
+}
+
+/// Reusable scratch of a (possibly parallel) list build: the driving tree's
+/// leaf spans, one [`WalkSeg`] per task, and the CSR-expansion work arrays.
+/// Keeping one of these per pipeline makes steady-state rebuilds
+/// allocation-free once the buffers have warmed to the problem size.
+#[derive(Debug)]
+pub struct ListScratch {
+    spans: LeafSpans,
+    segs: Vec<WalkSeg>,
+    diff: Vec<i64>,
+    cursor: Vec<usize>,
+}
+
+impl Default for ListScratch {
+    fn default() -> ListScratch {
+        ListScratch::new()
+    }
+}
+
+impl ListScratch {
+    /// Fresh scratch with no warmed buffers.
+    pub fn new() -> ListScratch {
+        ListScratch {
+            spans: LeafSpans::empty(),
+            segs: Vec::new(),
+            diff: Vec::new(),
+            cursor: Vec::new(),
+        }
+    }
+
+    fn ensure_segs(&mut self, n: usize) {
+        if self.segs.len() < n {
+            self.segs.resize_with(n, WalkSeg::default);
+        }
+    }
+
+    /// Heap footprint in bytes (spans, per-task buffers, expansion arrays).
+    pub fn memory_bytes(&self) -> usize {
+        self.spans.memory_bytes()
+            + self.segs.iter().map(WalkSeg::memory_bytes).sum::<usize>()
+            + self.segs.capacity() * std::mem::size_of::<WalkSeg>()
+            + self.diff.capacity() * std::mem::size_of::<i64>()
+            + self.cursor.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
+/// Appends one task's local CSR block onto the global arrays: computes the
+/// local offsets from a diff pass over `emits`, pushes `nloc` *global*
+/// offsets onto `off` (base = current `data` length), grows `data`, and
+/// scatters the emissions. Because tasks cover contiguous ordinal ranges in
+/// order, concatenating the blocks yields exactly the CSR a whole-range
+/// walk would produce. The caller pushes the final total after the last
+/// block.
+fn append_csr(
+    nloc: usize,
+    emits: &[Emit],
+    off: &mut Vec<usize>,
+    data: &mut Vec<NodeId>,
+    diff: &mut Vec<i64>,
+    cursor: &mut Vec<usize>,
+) {
+    diff.clear();
+    diff.resize(nloc + 1, 0);
     for &(s, e, _) in emits {
         diff[s as usize] += 1;
         diff[e as usize] -= 1;
     }
-    let mut off = Vec::with_capacity(nleaves + 1);
+    cursor.clear();
     let mut run = 0i64;
-    let mut total = 0usize;
-    for d in diff.iter().take(nleaves) {
+    let mut total = data.len();
+    for d in diff.iter().take(nloc) {
         off.push(total);
+        cursor.push(total);
         run += d;
         total += run as usize;
     }
-    off.push(total);
-    let mut data = vec![0 as NodeId; total];
-    let mut cursor: Vec<usize> = off[..nleaves].to_vec();
+    data.resize(total, 0 as NodeId);
     for &(s, e, id) in emits {
         for ord in s as usize..e as usize {
             data[cursor[ord]] = id;
             cursor[ord] += 1;
         }
     }
-    (off, data)
-}
-
-/// Prefix-sums a diff array of per-ordinal traversal-step counts.
-fn prefix_steps(nleaves: usize, sdiff: &[i64]) -> Vec<f64> {
-    let mut steps = Vec::with_capacity(nleaves);
-    let mut run = 0i64;
-    for d in sdiff.iter().take(nleaves) {
-        run += d;
-        steps.push(run as f64);
-    }
-    steps
 }
 
 /// How a popped node pair resolves in a dual-tree walk.
@@ -106,7 +183,7 @@ enum Resolve {
 /// `T_A` nodes it interacts with far (pseudo-particle term) and near
 /// (exact leaf–leaf sum), plus the per-leaf work units the equivalent
 /// traversal would report.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BornLists {
     far_off: Vec<usize>,
     far: Vec<NodeId>,
@@ -117,107 +194,201 @@ pub struct BornLists {
     pub build_work: f64,
 }
 
-impl BornLists {
-    /// Runs the dual-tree walk over `(T_A root, T_Q root)`.
-    pub fn build(sys: &GbSystem) -> BornLists {
-        let nleaves = sys.tq.num_leaves();
-        if sys.ta.is_empty() || sys.tq.is_empty() {
-            return BornLists {
-                far_off: vec![0; nleaves + 1],
-                far: Vec::new(),
-                near_off: vec![0; nleaves + 1],
-                near: Vec::new(),
-                leaf_work: vec![0.0; nleaves],
-                build_work: 0.0,
-            };
+/// Walks `(T_A root, T_Q root)` restricted to driving-leaf ordinals
+/// `[lo, hi)`: pairs whose span misses the range are pruned on pop, and
+/// emissions are clipped and shifted to range-local coordinates. The
+/// retained pops are exactly the serial walk's pops whose span intersects
+/// the range, **in the same LIFO order** (pruning removes stack entries
+/// without reordering the rest), and acceptance decisions depend only on
+/// node geometry — so concatenating the per-range CSR blocks reproduces the
+/// whole-range build byte for byte. A pop is *owned* (charged a traversal
+/// unit) by the one task whose range contains its span start, making
+/// `Σ build_work` the same multiset of exact ¼ units as the serial tally.
+fn born_walk_range(
+    sys: &GbSystem,
+    spans: &LeafSpans,
+    threshold: f64,
+    coef: f64,
+    lo: usize,
+    hi: usize,
+    seg: &mut WalkSeg,
+) {
+    seg.reset(hi - lo);
+    while let Some((a_id, q_id)) = seg.stack.pop() {
+        let span = spans.span(q_id);
+        if span.start >= hi || span.end <= lo {
+            continue;
         }
-        let spans = LeafSpans::compute(&sys.tq);
-        let threshold = sys.params.radii_mac_threshold();
-        // well_separated(d, ra, rq, t)  ⇔  d ≥ (ra + rq)(t+1)/(t−1)
-        let coef = (threshold + 1.0) / (threshold - 1.0);
+        if span.start >= lo {
+            seg.build_work += TRAVERSAL_UNIT;
+        }
+        let a = sys.ta.node(a_id);
+        let q = sys.tq.node(q_id);
+        let d = a.centroid.dist(q.centroid);
+        let (s, e) = ((span.start.max(lo) - lo) as u32, (span.end.min(hi) - lo) as u32);
 
-        let mut far_emits: Vec<Emit> = Vec::new();
-        let mut near_emits: Vec<Emit> = Vec::new();
-        let mut sdiff = vec![0i64; nleaves + 1];
-        let mut build_work = 0.0;
-        let mut stack: Vec<(NodeId, NodeId)> = vec![(Octree::ROOT, Octree::ROOT)];
-        while let Some((a_id, q_id)) = stack.pop() {
-            build_work += TRAVERSAL_UNIT;
-            let a = sys.ta.node(a_id);
-            let q = sys.tq.node(q_id);
-            let d = a.centroid.dist(q.centroid);
-            let span = spans.span(q_id);
-            let (s, e) = (span.start as u32, span.end as u32);
-
-            let resolve = if q.is_leaf() {
-                // single driving leaf: the original test decides, bit for bit
-                if well_separated(d, a.radius, q.radius, threshold) {
-                    Resolve::Far
-                } else {
-                    Resolve::NearOrDescend
-                }
+        let resolve = if q.is_leaf() {
+            // single driving leaf: the original test decides, bit for bit
+            if well_separated(d, a.radius, q.radius, threshold) {
+                Resolve::Far
             } else {
-                // every leaf centroid under q lies within q.radius of
-                // q.centroid, so per-leaf distances span [d−r_q, d+r_q]
-                let need_hi = coef * (a.radius + spans.max_leaf_radius[q_id as usize]);
-                if d - q.radius > need_hi + MARGIN * (need_hi + d) {
-                    Resolve::Far
+                Resolve::NearOrDescend
+            }
+        } else {
+            // every leaf centroid under q lies within q.radius of
+            // q.centroid, so per-leaf distances span [d−r_q, d+r_q]
+            let need_hi = coef * (a.radius + spans.max_leaf_radius[q_id as usize]);
+            if d - q.radius > need_hi + MARGIN * (need_hi + d) {
+                Resolve::Far
+            } else {
+                let need_lo = coef * (a.radius + spans.min_leaf_radius[q_id as usize]);
+                if d + q.radius < need_lo - MARGIN * (need_lo + d) {
+                    Resolve::NearOrDescend
                 } else {
-                    let need_lo = coef * (a.radius + spans.min_leaf_radius[q_id as usize]);
-                    if d + q.radius < need_lo - MARGIN * (need_lo + d) {
-                        Resolve::NearOrDescend
-                    } else {
-                        Resolve::DescendDriver
-                    }
+                    Resolve::DescendDriver
                 }
-            };
-            match resolve {
-                Resolve::Far => {
-                    sdiff[s as usize] += 1;
-                    sdiff[e as usize] -= 1;
-                    far_emits.push((s, e, a_id));
-                }
-                Resolve::NearOrDescend => {
-                    sdiff[s as usize] += 1;
-                    sdiff[e as usize] -= 1;
-                    if a.is_leaf() {
-                        near_emits.push((s, e, a_id));
-                    } else {
-                        for c in a.children() {
-                            stack.push((c, q_id));
-                        }
-                    }
-                }
-                Resolve::DescendDriver => {
-                    // not a resolved pop: the leaves' own pops of `a` are
-                    // accounted when each child pair resolves
-                    for qc in q.children() {
-                        stack.push((a_id, qc));
+            }
+        };
+        match resolve {
+            Resolve::Far => {
+                seg.sdiff[s as usize] += 1;
+                seg.sdiff[e as usize] -= 1;
+                seg.far_emits.push((s, e, a_id));
+            }
+            Resolve::NearOrDescend => {
+                seg.sdiff[s as usize] += 1;
+                seg.sdiff[e as usize] -= 1;
+                if a.is_leaf() {
+                    seg.near_emits.push((s, e, a_id));
+                } else {
+                    for c in a.children() {
+                        seg.stack.push((c, q_id));
                     }
                 }
             }
+            Resolve::DescendDriver => {
+                // not a resolved pop: the leaves' own pops of `a` are
+                // accounted when each child pair resolves
+                for qc in q.children() {
+                    seg.stack.push((a_id, qc));
+                }
+            }
+        }
+    }
+}
+
+impl BornLists {
+    /// Empty lists — a reusable slot for [`BornLists::rebuild`].
+    pub fn empty() -> BornLists {
+        BornLists {
+            far_off: Vec::new(),
+            far: Vec::new(),
+            near_off: Vec::new(),
+            near: Vec::new(),
+            leaf_work: Vec::new(),
+            build_work: 0.0,
+        }
+    }
+
+    /// Runs the dual-tree walk over `(T_A root, T_Q root)` serially.
+    pub fn build(sys: &GbSystem) -> BornLists {
+        Self::build_tasks(sys, 1)
+    }
+
+    /// Like [`BornLists::build`], split into `tasks` independent
+    /// driving-leaf-range walks run on `std::thread::scope` threads. The
+    /// result is **byte-identical** to the serial build for any task count
+    /// (see [`born_walk_range`]).
+    pub fn build_tasks(sys: &GbSystem, tasks: usize) -> BornLists {
+        let mut lists = BornLists::empty();
+        let mut scratch = ListScratch::new();
+        lists.rebuild(sys, tasks, &mut scratch);
+        lists
+    }
+
+    /// In-place [`BornLists::build_tasks`] reusing this value's buffers and
+    /// `scratch` — allocation-free once both have warmed to the problem
+    /// size (with `tasks == 1`; spawning scope threads allocates).
+    pub fn rebuild(&mut self, sys: &GbSystem, tasks: usize, scratch: &mut ListScratch) {
+        let nleaves = sys.tq.num_leaves();
+        self.far_off.clear();
+        self.far.clear();
+        self.near_off.clear();
+        self.near.clear();
+        self.leaf_work.clear();
+        self.build_work = 0.0;
+        if sys.ta.is_empty() || sys.tq.is_empty() {
+            self.far_off.resize(nleaves + 1, 0);
+            self.near_off.resize(nleaves + 1, 0);
+            self.leaf_work.resize(nleaves, 0.0);
+            return;
+        }
+        let threshold = sys.params.radii_mac_threshold();
+        // well_separated(d, ra, rq, t)  ⇔  d ≥ (ra + rq)(t+1)/(t−1)
+        let coef = (threshold + 1.0) / (threshold - 1.0);
+        scratch.spans.recompute(&sys.tq);
+        let ntasks = tasks.max(1).min(nleaves);
+        scratch.ensure_segs(ntasks);
+        let bounds = |i: usize| (i * nleaves / ntasks, (i + 1) * nleaves / ntasks);
+
+        let spans = &scratch.spans;
+        let segs = &mut scratch.segs[..ntasks];
+        if ntasks == 1 {
+            born_walk_range(sys, spans, threshold, coef, 0, nleaves, &mut segs[0]);
+        } else {
+            std::thread::scope(|sc| {
+                for (i, seg) in segs.iter_mut().enumerate() {
+                    let (lo, hi) = bounds(i);
+                    sc.spawn(move || born_walk_range(sys, spans, threshold, coef, lo, hi, seg));
+                }
+            });
         }
 
-        let (far_off, far) = expand_csr(nleaves, &far_emits);
-        let (near_off, near) = expand_csr(nleaves, &near_emits);
-        let steps = prefix_steps(nleaves, &sdiff);
+        // Stitch: per-task CSR blocks concatenate in range order; leaf_work
+        // temporarily stages the per-ordinal step counts until both CSRs
+        // are complete.
+        for i in 0..ntasks {
+            let (lo, hi) = bounds(i);
+            let seg = &scratch.segs[i];
+            append_csr(hi - lo, &seg.far_emits, &mut self.far_off, &mut self.far,
+                &mut scratch.diff, &mut scratch.cursor);
+            append_csr(hi - lo, &seg.near_emits, &mut self.near_off, &mut self.near,
+                &mut scratch.diff, &mut scratch.cursor);
+            let mut run = 0i64;
+            for d in seg.sdiff.iter().take(hi - lo) {
+                run += d;
+                self.leaf_work.push(run as f64);
+            }
+            self.build_work += seg.build_work;
+        }
+        self.far_off.push(self.far.len());
+        self.near_off.push(self.near.len());
         // Reconstruct the traversal's per-leaf work units: ¼ per popped
         // node, 1 per far term, |A|·|Q| per exact pair. All terms are
         // multiples of ¼ well below 2^52, so the sum is exact and equals
         // `accumulate_qleaf`'s incremental tally bit for bit.
-        let mut leaf_work = Vec::with_capacity(nleaves);
         for ord in 0..nleaves {
             let q_count = sys.tq.node(sys.tq.leaves()[ord]).count() as f64;
             let mut near_pairs = 0.0;
-            for &a_id in &near[near_off[ord]..near_off[ord + 1]] {
+            for &a_id in &self.near[self.near_off[ord]..self.near_off[ord + 1]] {
                 near_pairs += sys.ta.node(a_id).count() as f64 * q_count;
             }
-            leaf_work.push(
-                TRAVERSAL_UNIT * steps[ord] + (far_off[ord + 1] - far_off[ord]) as f64
-                    + near_pairs,
-            );
+            self.leaf_work[ord] = TRAVERSAL_UNIT * self.leaf_work[ord]
+                + (self.far_off[ord + 1] - self.far_off[ord]) as f64
+                + near_pairs;
         }
-        BornLists { far_off, far, near_off, near, leaf_work, build_work }
+    }
+
+    /// The far CSR: `(offsets, node ids)` grouped by driving-leaf ordinal.
+    #[inline]
+    pub fn far_csr(&self) -> (&[usize], &[NodeId]) {
+        (&self.far_off, &self.far)
+    }
+
+    /// The near CSR: `(offsets, node ids)` grouped by driving-leaf ordinal.
+    #[inline]
+    pub fn near_csr(&self) -> (&[usize], &[NodeId]) {
+        (&self.near_off, &self.near)
     }
 
     /// Number of driving `T_Q` leaves.
@@ -327,6 +498,24 @@ fn born_span_batched<M: MathMode, K: RadiiApprox>(
     let ay = &sys.a_soa.y[atoms.clone()];
     let az = &sys.a_soa.z[atoms.clone()];
     let out = &mut acc.atom_s[atoms];
+    // AVX2 path: available whenever the mode's integrand is the default
+    // IEEE body (Exact/Vector); it mirrors the scalar operation sequence
+    // below instruction for instruction, so results are bit-identical.
+    #[cfg(target_arch = "x86_64")]
+    if M::IEEE_INTEGRANDS && SimdLevel::active() == SimdLevel::Avx2 {
+        for k in 0..qx.len() {
+            // SAFETY: level Avx2 implies avx2+fma were detected.
+            unsafe {
+                crate::simd::avx2::born_point(
+                    ax, ay, az,
+                    [qx[k], qy[k], qz[k]],
+                    [nx[k], ny[k], nz[k]],
+                    w[k], K::KIND, out,
+                );
+            }
+        }
+        return;
+    }
     for k in 0..qx.len() {
         let (px, py, pz) = (qx[k], qy[k], qz[k]);
         let (mx, my, mz) = (nx[k], ny[k], nz[k]);
@@ -356,7 +545,7 @@ fn born_span_batched<M: MathMode, K: RadiiApprox>(
 /// exact-pair work the equivalent traversal would report. Far-pair work
 /// depends on the charge histograms (known only after the Born radii), so
 /// it is computed at execution time / by [`EnergyLists::leaf_costs`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EnergyLists {
     near_off: Vec<usize>,
     /// `T_A` leaf partners (Fig. 3 rule: a leaf `U` is always exact).
@@ -372,100 +561,189 @@ pub struct EnergyLists {
     pub build_work: f64,
 }
 
-impl EnergyLists {
-    /// Runs the dual-tree walk over `(T_A root, T_A root)`; the second
-    /// component drives (it stands for the `V` leaves of Fig. 3).
-    pub fn build(sys: &GbSystem) -> EnergyLists {
-        let nleaves = sys.ta.num_leaves();
-        if sys.ta.is_empty() {
-            return EnergyLists {
-                near_off: vec![0; nleaves + 1],
-                near: Vec::new(),
-                far_off: vec![0; nleaves + 1],
-                far: Vec::new(),
-                trav_steps: vec![0.0; nleaves],
-                near_work: vec![0.0; nleaves],
-                build_work: 0.0,
-            };
+/// Walks `(T_A root, T_A root)` restricted to driving-leaf ordinals
+/// `[lo, hi)` — the energy-phase counterpart of [`born_walk_range`], with
+/// the same pruning, clipping and pop-ownership rules.
+fn energy_walk_range(
+    sys: &GbSystem,
+    spans: &LeafSpans,
+    mac: f64,
+    lo: usize,
+    hi: usize,
+    seg: &mut WalkSeg,
+) {
+    seg.reset(hi - lo);
+    while let Some((u_id, v_id)) = seg.stack.pop() {
+        let span = spans.span(v_id);
+        if span.start >= hi || span.end <= lo {
+            continue;
         }
-        let spans = LeafSpans::compute(&sys.ta);
-        let mac = sys.params.energy_mac_factor();
+        if span.start >= lo {
+            seg.build_work += TRAVERSAL_UNIT;
+        }
+        let u = sys.ta.node(u_id);
+        let v = sys.ta.node(v_id);
+        let (s, e) = ((span.start.max(lo) - lo) as u32, (span.end.min(hi) - lo) as u32);
 
-        let mut near_emits: Vec<Emit> = Vec::new();
-        let mut far_emits: Vec<Emit> = Vec::new();
-        let mut sdiff = vec![0i64; nleaves + 1];
-        let mut build_work = 0.0;
-        let mut stack: Vec<(NodeId, NodeId)> = vec![(Octree::ROOT, Octree::ROOT)];
-        while let Some((u_id, v_id)) = stack.pop() {
-            build_work += TRAVERSAL_UNIT;
-            let u = sys.ta.node(u_id);
-            let v = sys.ta.node(v_id);
-            let span = spans.span(v_id);
-            let (s, e) = (span.start as u32, span.end as u32);
-
-            if u.is_leaf() {
-                // Fig. 3 checks leafness *before* distance: leaf–leaf pairs
-                // are always exact, independent of V — resolve the whole span
-                sdiff[s as usize] += 1;
-                sdiff[e as usize] -= 1;
-                near_emits.push((s, e, u_id));
-                continue;
-            }
-            let d = u.centroid.dist(v.centroid);
-            let resolve = if v.is_leaf() {
-                if d > (u.radius + v.radius) * mac {
-                    Resolve::Far
-                } else {
-                    Resolve::NearOrDescend
-                }
+        if u.is_leaf() {
+            // Fig. 3 checks leafness *before* distance: leaf–leaf pairs
+            // are always exact, independent of V — resolve the whole span
+            seg.sdiff[s as usize] += 1;
+            seg.sdiff[e as usize] -= 1;
+            seg.near_emits.push((s, e, u_id));
+            continue;
+        }
+        let d = u.centroid.dist(v.centroid);
+        let resolve = if v.is_leaf() {
+            if d > (u.radius + v.radius) * mac {
+                Resolve::Far
             } else {
-                let need_hi = mac * (u.radius + spans.max_leaf_radius[v_id as usize]);
-                if d - v.radius > need_hi + MARGIN * (need_hi + d) {
-                    Resolve::Far
+                Resolve::NearOrDescend
+            }
+        } else {
+            let need_hi = mac * (u.radius + spans.max_leaf_radius[v_id as usize]);
+            if d - v.radius > need_hi + MARGIN * (need_hi + d) {
+                Resolve::Far
+            } else {
+                let need_lo = mac * (u.radius + spans.min_leaf_radius[v_id as usize]);
+                if d + v.radius < need_lo - MARGIN * (need_lo + d) {
+                    Resolve::NearOrDescend
                 } else {
-                    let need_lo = mac * (u.radius + spans.min_leaf_radius[v_id as usize]);
-                    if d + v.radius < need_lo - MARGIN * (need_lo + d) {
-                        Resolve::NearOrDescend
-                    } else {
-                        Resolve::DescendDriver
-                    }
+                    Resolve::DescendDriver
                 }
-            };
-            match resolve {
-                Resolve::Far => {
-                    sdiff[s as usize] += 1;
-                    sdiff[e as usize] -= 1;
-                    far_emits.push((s, e, u_id));
+            }
+        };
+        match resolve {
+            Resolve::Far => {
+                seg.sdiff[s as usize] += 1;
+                seg.sdiff[e as usize] -= 1;
+                seg.far_emits.push((s, e, u_id));
+            }
+            Resolve::NearOrDescend => {
+                // u is internal here (leaves resolved above): descend u
+                seg.sdiff[s as usize] += 1;
+                seg.sdiff[e as usize] -= 1;
+                for c in u.children() {
+                    seg.stack.push((c, v_id));
                 }
-                Resolve::NearOrDescend => {
-                    // u is internal here (leaves resolved above): descend u
-                    sdiff[s as usize] += 1;
-                    sdiff[e as usize] -= 1;
-                    for c in u.children() {
-                        stack.push((c, v_id));
-                    }
-                }
-                Resolve::DescendDriver => {
-                    for vc in v.children() {
-                        stack.push((u_id, vc));
-                    }
+            }
+            Resolve::DescendDriver => {
+                for vc in v.children() {
+                    seg.stack.push((u_id, vc));
                 }
             }
         }
+    }
+}
 
-        let (near_off, near) = expand_csr(nleaves, &near_emits);
-        let (far_off, far) = expand_csr(nleaves, &far_emits);
-        let trav_steps = prefix_steps(nleaves, &sdiff);
-        let mut near_work = Vec::with_capacity(nleaves);
+impl EnergyLists {
+    /// Empty lists — a reusable slot for [`EnergyLists::rebuild`].
+    pub fn empty() -> EnergyLists {
+        EnergyLists {
+            near_off: Vec::new(),
+            near: Vec::new(),
+            far_off: Vec::new(),
+            far: Vec::new(),
+            trav_steps: Vec::new(),
+            near_work: Vec::new(),
+            build_work: 0.0,
+        }
+    }
+
+    /// Runs the dual-tree walk over `(T_A root, T_A root)` serially; the
+    /// second component drives (it stands for the `V` leaves of Fig. 3).
+    pub fn build(sys: &GbSystem) -> EnergyLists {
+        Self::build_tasks(sys, 1)
+    }
+
+    /// Like [`EnergyLists::build`], split into `tasks` independent
+    /// driving-leaf-range walks; byte-identical for any task count.
+    pub fn build_tasks(sys: &GbSystem, tasks: usize) -> EnergyLists {
+        let mut lists = EnergyLists::empty();
+        let mut scratch = ListScratch::new();
+        lists.rebuild(sys, tasks, &mut scratch);
+        lists
+    }
+
+    /// In-place [`EnergyLists::build_tasks`] reusing this value's buffers
+    /// and `scratch` — allocation-free once warmed (with `tasks == 1`).
+    pub fn rebuild(&mut self, sys: &GbSystem, tasks: usize, scratch: &mut ListScratch) {
+        let nleaves = sys.ta.num_leaves();
+        self.near_off.clear();
+        self.near.clear();
+        self.far_off.clear();
+        self.far.clear();
+        self.trav_steps.clear();
+        self.near_work.clear();
+        self.build_work = 0.0;
+        if sys.ta.is_empty() {
+            self.near_off.resize(nleaves + 1, 0);
+            self.far_off.resize(nleaves + 1, 0);
+            self.trav_steps.resize(nleaves, 0.0);
+            self.near_work.resize(nleaves, 0.0);
+            return;
+        }
+        let mac = sys.params.energy_mac_factor();
+        scratch.spans.recompute(&sys.ta);
+        let ntasks = tasks.max(1).min(nleaves);
+        scratch.ensure_segs(ntasks);
+        let bounds = |i: usize| (i * nleaves / ntasks, (i + 1) * nleaves / ntasks);
+
+        let spans = &scratch.spans;
+        let segs = &mut scratch.segs[..ntasks];
+        if ntasks == 1 {
+            energy_walk_range(sys, spans, mac, 0, nleaves, &mut segs[0]);
+        } else {
+            std::thread::scope(|sc| {
+                for (i, seg) in segs.iter_mut().enumerate() {
+                    let (lo, hi) = bounds(i);
+                    sc.spawn(move || energy_walk_range(sys, spans, mac, lo, hi, seg));
+                }
+            });
+        }
+
+        for i in 0..ntasks {
+            let (lo, hi) = bounds(i);
+            let seg = &scratch.segs[i];
+            append_csr(hi - lo, &seg.near_emits, &mut self.near_off, &mut self.near,
+                &mut scratch.diff, &mut scratch.cursor);
+            append_csr(hi - lo, &seg.far_emits, &mut self.far_off, &mut self.far,
+                &mut scratch.diff, &mut scratch.cursor);
+            let mut run = 0i64;
+            for d in seg.sdiff.iter().take(hi - lo) {
+                run += d;
+                self.trav_steps.push(run as f64);
+            }
+            self.build_work += seg.build_work;
+        }
+        self.near_off.push(self.near.len());
+        self.far_off.push(self.far.len());
         for ord in 0..nleaves {
             let v_count = sys.ta.node(sys.ta.leaves()[ord]).count() as f64;
             let mut pairs = 0.0;
-            for &u_id in &near[near_off[ord]..near_off[ord + 1]] {
+            for &u_id in &self.near[self.near_off[ord]..self.near_off[ord + 1]] {
                 pairs += sys.ta.node(u_id).count() as f64 * v_count;
             }
-            near_work.push(pairs);
+            self.near_work.push(pairs);
         }
-        EnergyLists { near_off, near, far_off, far, trav_steps, near_work, build_work }
+    }
+
+    /// The near CSR: `(offsets, leaf ids)` grouped by driving-leaf ordinal.
+    #[inline]
+    pub fn near_csr(&self) -> (&[usize], &[NodeId]) {
+        (&self.near_off, &self.near)
+    }
+
+    /// The far CSR: `(offsets, node ids)` grouped by driving-leaf ordinal.
+    #[inline]
+    pub fn far_csr(&self) -> (&[usize], &[NodeId]) {
+        (&self.far_off, &self.far)
+    }
+
+    /// Per-ordinal traversal-step counts (work bookkeeping arrays).
+    #[inline]
+    pub fn step_and_near_work(&self) -> (&[f64], &[f64]) {
+        (&self.trav_steps, &self.near_work)
     }
 
     /// Number of driving `T_A` leaves.
@@ -493,14 +771,44 @@ impl EnergyLists {
             raw += energy_pair_batched::<M>(sys, radii_tree, sys.ta.node(u_id), v);
         }
         let (v_nzq, v_nzr) = bins.node_nonzero(v_leaf);
+        let lanes = SimdLevel::active() != SimdLevel::Scalar;
         for &u_id in &self.far[self.far_off[ord]..self.far_off[ord + 1]] {
             let u = sys.ta.node(u_id);
             let d = u.centroid.dist(v.centroid);
             let d_sq = d * d;
             let (u_nzq, u_nzr) = bins.node_nonzero(u_id);
-            for (&qu, &ri) in u_nzq.iter().zip(u_nzr) {
-                for (&qv, &rj) in v_nzq.iter().zip(v_nzr) {
-                    raw += qu * qv * inv_f_gb::<M>(d_sq, ri * rj);
+            if lanes {
+                // Batch the expensive 1/f_GB evaluations eight at a time
+                // but accumulate term by term in the original nested-loop
+                // order — no reassociation, so this is bit-identical to the
+                // scalar path for every math mode (the flush width only
+                // decides when the lane kernel runs, never the values or
+                // the order they are added in).
+                let mut lane = 0usize;
+                let mut qq = [0.0f64; 8];
+                let mut rr = [0.0f64; 8];
+                for (&qu, &ri) in u_nzq.iter().zip(u_nzr) {
+                    for (&qv, &rj) in v_nzq.iter().zip(v_nzr) {
+                        qq[lane] = qu * qv;
+                        rr[lane] = ri * rj;
+                        lane += 1;
+                        if lane == 8 {
+                            let inv = M::inv_f_gb8([d_sq; 8], rr);
+                            for l in 0..8 {
+                                raw += qq[l] * inv[l];
+                            }
+                            lane = 0;
+                        }
+                    }
+                }
+                for l in 0..lane {
+                    raw += qq[l] * inv_f_gb::<M>(d_sq, rr[l]);
+                }
+            } else {
+                for (&qu, &ri) in u_nzq.iter().zip(u_nzr) {
+                    for (&qv, &rj) in v_nzq.iter().zip(v_nzr) {
+                        raw += qu * qv * inv_f_gb::<M>(d_sq, ri * rj);
+                    }
                 }
             }
             work += (u_nzq.len() * v_nzq.len()) as f64;
@@ -570,6 +878,26 @@ fn energy_pair_batched<M: MathMode>(
     let vq = &sys.charge_tree[vr.clone()];
     let vb = &radii_tree[vr];
     let m = vx.len();
+    let lanes = SimdLevel::active() != SimdLevel::Scalar;
+    if M::LANE_ENERGY && lanes {
+        // whole-pair ZMM kernel (one masked 8-lane sweep per row, register
+        // constants broadcast once per pair); answers only at `Avx512`
+        let ur = u.range();
+        if let Some(r) = crate::simd::energy_pair8(
+            &sys.a_soa.x[ur.clone()],
+            &sys.a_soa.y[ur.clone()],
+            &sys.a_soa.z[ur.clone()],
+            &sys.charge_tree[ur.clone()],
+            &radii_tree[ur],
+            vx,
+            vy,
+            vz,
+            vq,
+            vb,
+        ) {
+            return r;
+        }
+    }
     let mut raw = 0.0;
     for ui in u.range() {
         let (ux, uy, uz) = (sys.a_soa.x[ui], sys.a_soa.y[ui], sys.a_soa.z[ui]);
@@ -582,20 +910,51 @@ fn energy_pair_batched<M: MathMode>(
             let r_sq = dz.mul_add(dz, dy.mul_add(dy, dx * dx));
             vq[k] * inv_f_gb::<M>(r_sq, ru * vb[k])
         };
-        let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        let mut s = [0.0f64; 4];
         let mut k = 0usize;
-        while k + 4 <= m {
-            s0 += term(k);
-            s1 += term(k + 1);
-            s2 += term(k + 2);
-            s3 += term(k + 3);
-            k += 4;
+        if lanes {
+            // Same four accumulators and the same per-lane → accumulator
+            // mapping as the scalar stride-4 loop; only the 1/f_GB
+            // evaluations are grouped into one 4-lane call. Bit-identical
+            // to the scalar path (the default lane kernel *is* four scalar
+            // evaluations; VectorMath's packed override is bit-identical
+            // to its own scalar form by construction).
+            if M::LANE_ENERGY {
+                // whole-row packed kernel (distances + 1/f_GB in one AVX2
+                // call); consumes whole chunks, 0 when Avx2 isn't active
+                k = crate::simd::energy_row4(vx, vy, vz, vq, vb, [ux, uy, uz], ru, &mut s);
+            }
+            while k + 4 <= m {
+                let mut r_sq = [0.0f64; 4];
+                let mut rr = [0.0f64; 4];
+                for l in 0..4 {
+                    let dx = vx[k + l] - ux;
+                    let dy = vy[k + l] - uy;
+                    let dz = vz[k + l] - uz;
+                    r_sq[l] = dz.mul_add(dz, dy.mul_add(dy, dx * dx));
+                    rr[l] = ru * vb[k + l];
+                }
+                let inv = M::inv_f_gb4(r_sq, rr);
+                s[0] += vq[k] * inv[0];
+                s[1] += vq[k + 1] * inv[1];
+                s[2] += vq[k + 2] * inv[2];
+                s[3] += vq[k + 3] * inv[3];
+                k += 4;
+            }
+        } else {
+            while k + 4 <= m {
+                s[0] += term(k);
+                s[1] += term(k + 1);
+                s[2] += term(k + 2);
+                s[3] += term(k + 3);
+                k += 4;
+            }
         }
         while k < m {
-            s0 += term(k);
+            s[0] += term(k);
             k += 1;
         }
-        raw += qu * ((s0 + s1) + (s2 + s3));
+        raw += qu * ((s[0] + s[1]) + (s[2] + s[3]));
     }
     raw
 }
@@ -697,6 +1056,70 @@ mod tests {
         for (x, y) in acc_t.node_s.iter().zip(&acc_l.node_s) {
             assert!(close(*x, *y), "{x} vs {y}");
         }
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical() {
+        for n in [1usize, 9, 350] {
+            let sys = system(n);
+            let b1 = BornLists::build(&sys);
+            let e1 = EnergyLists::build(&sys);
+            for tasks in [2usize, 3, 7, 64] {
+                let bt = BornLists::build_tasks(&sys, tasks);
+                assert_eq!(b1, bt, "n={n} tasks={tasks}: born lists");
+                for (a, b) in b1.leaf_work.iter().zip(&bt.leaf_work) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "n={n} tasks={tasks}");
+                }
+                assert_eq!(b1.build_work.to_bits(), bt.build_work.to_bits());
+                let et = EnergyLists::build_tasks(&sys, tasks);
+                assert_eq!(e1, et, "n={n} tasks={tasks}: energy lists");
+                assert_eq!(e1.build_work.to_bits(), et.build_work.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_and_matches_fresh_build() {
+        // grow, shrink, regrow through one scratch + one lists slot
+        let mut scratch = ListScratch::new();
+        let mut born = BornLists::empty();
+        let mut energy = EnergyLists::empty();
+        for (n, tasks) in [(120usize, 2usize), (350, 3), (60, 1), (350, 5)] {
+            let sys = system(n);
+            born.rebuild(&sys, tasks, &mut scratch);
+            assert_eq!(born, BornLists::build(&sys), "n={n} tasks={tasks}");
+            energy.rebuild(&sys, tasks, &mut scratch);
+            assert_eq!(energy, EnergyLists::build(&sys), "n={n} tasks={tasks}");
+        }
+        assert!(scratch.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn memory_bytes_sums_every_component() {
+        let sys = system(350);
+        let b = BornLists::build(&sys);
+        let expect = (b.far_off.capacity() + b.near_off.capacity())
+            * std::mem::size_of::<usize>()
+            + (b.far.capacity() + b.near.capacity()) * std::mem::size_of::<NodeId>()
+            + b.leaf_work.capacity() * std::mem::size_of::<f64>();
+        assert_eq!(b.memory_bytes(), expect);
+        assert!(b.memory_bytes() > 0);
+        let e = EnergyLists::build(&sys);
+        let expect = (e.far_off.capacity() + e.near_off.capacity())
+            * std::mem::size_of::<usize>()
+            + (e.far.capacity() + e.near.capacity()) * std::mem::size_of::<NodeId>()
+            + (e.trav_steps.capacity() + e.near_work.capacity()) * std::mem::size_of::<f64>();
+        assert_eq!(e.memory_bytes(), expect);
+        // scratch reports spans + per-task buffers + expansion arrays
+        let mut scratch = ListScratch::new();
+        let mut lists = BornLists::empty();
+        lists.rebuild(&sys, 3, &mut scratch);
+        let expect = scratch.spans.memory_bytes()
+            + scratch.segs.iter().map(WalkSeg::memory_bytes).sum::<usize>()
+            + scratch.segs.capacity() * std::mem::size_of::<WalkSeg>()
+            + scratch.diff.capacity() * std::mem::size_of::<i64>()
+            + scratch.cursor.capacity() * std::mem::size_of::<usize>();
+        assert_eq!(scratch.memory_bytes(), expect);
     }
 
     #[test]

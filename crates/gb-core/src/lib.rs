@@ -53,8 +53,10 @@ pub mod integrals;
 pub mod interaction;
 pub mod modeled;
 pub mod naive;
+pub mod arena;
 pub mod params;
 pub mod runners;
+pub mod simd;
 pub mod system;
 pub mod workdiv;
 

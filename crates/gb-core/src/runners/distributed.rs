@@ -14,17 +14,18 @@
 //! 6. `APPROX-EPOL` for this rank's segment of `T_A` leaves;
 //! 7. reduce of the partial energies to the master.
 
+use crate::arena::Workspace;
 use crate::energy::energy_for_leaves;
 use crate::error::GbError;
 use crate::fastmath::{ApproxMath, ExactMath, MathMode};
 use crate::gbmath::{finalize_energy, RadiiApprox, R4, R6};
-use crate::integrals::{push_integrals_into, IntegralAcc};
-use crate::interaction::{BornLists, EnergyLists};
+use crate::integrals::{push_integrals_scratch, IntegralAcc};
 use crate::params::{MathKind, RadiiKind};
-use crate::runners::{bin_build_work, bins_for, with_kernels};
+use crate::runners::{bin_build_work, with_kernels};
 use crate::system::{GbResult, GbSystem};
-use crate::workdiv::{atom_segments, work_balanced_segments, WorkDivision};
+use crate::workdiv::{even_ranges_into, work_balanced_segments_into, WorkDivision};
 use gb_cluster::{Comm, CommError, RunReport, SimCluster};
+use parking_lot::Mutex;
 
 /// Runs the 7-step distributed algorithm on `ranks` single-threaded ranks.
 ///
@@ -53,8 +54,28 @@ pub fn try_run_distributed(
     ranks: usize,
     division: WorkDivision,
 ) -> Result<(GbResult, RunReport), GbError> {
-    let (mut results, report) =
-        cluster.try_run(ranks, 1, |comm| rank_body_dispatch(sys, comm, division))?;
+    let workspaces: Vec<Mutex<Workspace>> =
+        (0..ranks).map(|_| Mutex::new(Workspace::new())).collect();
+    try_run_distributed_ws(sys, cluster, ranks, division, &workspaces)
+}
+
+/// [`try_run_distributed`] over caller-owned per-rank [`Workspace`]s
+/// (`workspaces[rank]`): ranks reuse their lists, accumulators and scratch
+/// across supersteps. Collective results (`allreduce`, `allgatherv`) still
+/// arrive in fresh buffers — that traffic belongs to the simulated MPI
+/// library, not the phase arenas.
+pub fn try_run_distributed_ws(
+    sys: &GbSystem,
+    cluster: &SimCluster,
+    ranks: usize,
+    division: WorkDivision,
+    workspaces: &[Mutex<Workspace>],
+) -> Result<(GbResult, RunReport), GbError> {
+    assert!(workspaces.len() >= ranks, "need one workspace per rank");
+    let (mut results, report) = cluster.try_run(ranks, 1, |comm| {
+        let mut ws = workspaces[comm.rank()].lock();
+        rank_body_dispatch(sys, comm, division, &mut ws)
+    })?;
     Ok((results.swap_remove(0), report))
 }
 
@@ -62,8 +83,9 @@ fn rank_body_dispatch(
     sys: &GbSystem,
     comm: &mut Comm,
     division: WorkDivision,
+    ws: &mut Workspace,
 ) -> Result<GbResult, CommError> {
-    with_kernels!(sys.params, M, K => rank_body::<M, K>(sys, comm, division))
+    with_kernels!(sys.params, M, K => rank_body::<M, K>(sys, comm, division, ws))
 }
 
 /// The rank program, generic over the math mode; also reused by the hybrid
@@ -72,6 +94,7 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
     sys: &GbSystem,
     comm: &mut Comm,
     division: WorkDivision,
+    ws: &mut Workspace,
 ) -> Result<GbResult, CommError> {
     let rank = comm.rank();
     let p = comm.size();
@@ -81,68 +104,85 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
     comm.record_replicated(sys.memory_bytes() as u64);
 
     // Step 2: partial integrals for this rank's share.
-    let mut acc = IntegralAcc::zeros(sys);
+    ws.acc.reset_for(sys);
+    even_ranges_into(sys.num_atoms(), p, &mut ws.atom_ranges);
     let mut work = 0.0;
     match division {
         WorkDivision::NodeNode => {
             // Replicated preprocessing: every rank performs the same dual-tree
             // walk (like the bin build), so segments agree without
             // communication, and ranks are cut by *measured* list work.
-            let born = BornLists::build(sys);
-            work += born.build_work;
-            let seg = work_balanced_segments(born.leaf_work(), p).swap_remove(rank);
-            work += born.execute_range::<M, K>(sys, seg, &mut acc);
+            ws.born.rebuild(sys, ws.build_tasks, &mut ws.born_scratch);
+            work += ws.born.build_work;
+            work_balanced_segments_into(ws.born.leaf_work(), p, &mut ws.seg_ranges);
+            work += ws.born.execute_range::<M, K>(sys, ws.seg_ranges[rank].clone(), &mut ws.acc);
         }
         WorkDivision::AtomNode => {
-            let mut stack = Vec::new();
             // Atom-based division: every rank processes *all* T_Q leaves but
             // clips the T_A traversal to its atom range (see
             // `accumulate_qleaf_clipped`): far-field terms are only taken at
             // nodes wholly inside the range, so range boundaries change the
             // approximation pattern — the P-dependent-error effect the paper
             // reports for atom-based division.
-            let range = atom_segments(sys.num_atoms(), p).swap_remove(rank);
+            let range = ws.atom_ranges[rank].clone();
             for &q in sys.tq.leaves() {
-                work += accumulate_qleaf_clipped::<M, K>(sys, q, range.clone(), &mut acc, &mut stack);
+                work += accumulate_qleaf_clipped::<M, K>(
+                    sys,
+                    q,
+                    range.clone(),
+                    &mut ws.acc,
+                    &mut ws.node_stack,
+                );
             }
         }
     }
     comm.record_work(work);
 
     // Step 3: combine partial integrals.
-    let mut flat = acc.to_flat();
-    comm.try_allreduce_sum(&mut flat)?;
-    let acc = IntegralAcc::from_flat(&flat, sys.ta.num_nodes());
-    drop(flat);
+    ws.acc.to_flat_into(&mut ws.flat);
+    comm.try_allreduce_sum(&mut ws.flat)?;
+    ws.acc.copy_from_flat(&ws.flat);
 
     // Step 4: Born radii for this rank's atom segment, written into a
     // buffer sized for the segment alone (no full-length scratch).
-    let my_atoms = atom_segments(sys.num_atoms(), p).swap_remove(rank);
-    let mut local = vec![0.0; my_atoms.len()];
-    let w = push_integrals_into::<K>(sys, &acc, my_atoms, &mut local);
+    let my_atoms = ws.atom_ranges[rank].clone();
+    ws.radii_tree.clear();
+    ws.radii_tree.resize(my_atoms.len(), 0.0);
+    let w = push_integrals_scratch::<M, K>(
+        sys,
+        &ws.acc,
+        my_atoms,
+        &mut ws.radii_tree,
+        &mut ws.push_stack,
+    );
     comm.record_work(w);
 
     // Step 5: allgather radii (variable-length segments, rank order ==
     // atom-segment order, so concatenation is the full tree-order vector).
-    let radii_tree = comm.try_allgatherv(&local)?;
+    let radii_tree = comm.try_allgatherv(&ws.radii_tree)?;
     debug_assert_eq!(radii_tree.len(), sys.num_atoms());
-    drop(local);
 
     // Step 6: partial energy for this rank's T_A leaf segment. Bins are
     // recomputed locally from the (replicated) radii instead of being
     // communicated.
-    let bins = bins_for(sys, &radii_tree);
+    ws.bins.recompute(sys, &radii_tree);
+    let bins = &ws.bins;
     comm.record_work(bin_build_work(sys));
     let (raw, w) = match division {
         WorkDivision::NodeNode => {
-            let energy = EnergyLists::build(sys);
-            let costs = energy.leaf_costs(sys, &bins);
-            let seg = work_balanced_segments(&costs, p).swap_remove(rank);
-            let (raw, exec) = energy.execute_leaves::<M>(sys, &bins, &radii_tree, seg);
-            (raw, energy.build_work + exec)
+            ws.energy.rebuild(sys, ws.build_tasks, &mut ws.energy_scratch);
+            let costs = ws.energy.leaf_costs(sys, bins);
+            work_balanced_segments_into(&costs, p, &mut ws.seg_ranges);
+            let (raw, exec) = ws.energy.execute_leaves::<M>(
+                sys,
+                bins,
+                &radii_tree,
+                ws.seg_ranges[rank].clone(),
+            );
+            (raw, ws.energy.build_work + exec)
         }
         WorkDivision::AtomNode => {
-            let range = atom_segments(sys.num_atoms(), p).swap_remove(rank);
+            let range = ws.atom_ranges[rank].clone();
             // leaves whose point range intersects this rank's atom range,
             // clipped at the leaf level (a leaf straddling the boundary is
             // processed by the lower rank)
@@ -156,7 +196,7 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
                     (n.begin as usize) >= range.start && (n.begin as usize) < range.end
                 })
                 .collect();
-            energy_for_leaves::<M>(sys, &bins, &radii_tree, &leaves)
+            energy_for_leaves::<M>(sys, bins, &radii_tree, &leaves)
         }
     };
     comm.record_work(w);
@@ -254,6 +294,22 @@ mod tests {
             run_distributed(&s, &SimCluster::single_node(), 1, WorkDivision::NodeNode);
         assert_eq!(serial.result.energy_kcal, dist.energy_kcal);
         assert_eq!(serial.result.born_radii, dist.born_radii);
+    }
+
+    #[test]
+    fn reused_rank_workspaces_give_identical_bits() {
+        let s = sys(300);
+        let cluster = SimCluster::single_node();
+        let (fresh, _) = run_distributed(&s, &cluster, 3, WorkDivision::NodeNode);
+        let workspaces: Vec<Mutex<Workspace>> =
+            (0..3).map(|_| Mutex::new(Workspace::new())).collect();
+        for pass in 0..2 {
+            let (r, _) =
+                try_run_distributed_ws(&s, &cluster, 3, WorkDivision::NodeNode, &workspaces)
+                    .expect("fault-free");
+            assert_eq!(fresh.energy_kcal.to_bits(), r.energy_kcal.to_bits(), "pass {pass}");
+            assert_eq!(fresh.born_radii, r.born_radii, "pass {pass}");
+        }
     }
 
     #[test]

@@ -8,16 +8,17 @@
 //! Worker partials merge in worker order, so the rank's contribution — and
 //! therefore the final energy — is identical to the distributed runner's.
 
+use crate::arena::Workspace;
 use crate::error::GbError;
 use crate::fastmath::{ApproxMath, ExactMath, MathMode};
 use crate::gbmath::{finalize_energy, RadiiApprox, R4, R6};
-use crate::integrals::{push_integrals_into, IntegralAcc};
-use crate::interaction::{BornLists, EnergyLists};
+use crate::integrals::{push_integrals_scratch, IntegralAcc};
 use crate::params::{MathKind, RadiiKind};
-use crate::runners::{bin_build_work, bins_for, with_kernels};
+use crate::runners::{bin_build_work, with_kernels};
 use crate::system::{GbResult, GbSystem};
-use crate::workdiv::{atom_segments, work_balanced_segments, WorkDivision};
+use crate::workdiv::{even_ranges_into, work_balanced_segments_into, WorkDivision};
 use gb_cluster::{Comm, CommError, RunReport, SimCluster, StealPool};
+use gb_octree::NodeId;
 use parking_lot::Mutex;
 
 /// Runs the hybrid algorithm: `ranks` ranks × `threads_per_rank` stealing
@@ -46,9 +47,28 @@ pub fn try_run_hybrid(
     threads_per_rank: usize,
     division: WorkDivision,
 ) -> Result<(GbResult, RunReport), GbError> {
+    let workspaces: Vec<Mutex<Workspace>> =
+        (0..ranks).map(|_| Mutex::new(Workspace::with_build_tasks(threads_per_rank))).collect();
+    try_run_hybrid_ws(sys, cluster, ranks, threads_per_rank, division, &workspaces)
+}
+
+/// [`try_run_hybrid`] over caller-owned per-rank [`Workspace`]s: each rank
+/// reuses its interaction lists, accumulators and bins across supersteps.
+/// The steal pool's per-worker slots stay per-call (they belong to the
+/// scheduler, not the phase arenas).
+pub fn try_run_hybrid_ws(
+    sys: &GbSystem,
+    cluster: &SimCluster,
+    ranks: usize,
+    threads_per_rank: usize,
+    division: WorkDivision,
+    workspaces: &[Mutex<Workspace>],
+) -> Result<(GbResult, RunReport), GbError> {
     assert!(threads_per_rank >= 1);
+    assert!(workspaces.len() >= ranks, "need one workspace per rank");
     let (mut results, report) = cluster.try_run(ranks, threads_per_rank, |comm| {
-        with_kernels!(sys.params, M, K => hybrid_rank_body::<M, K>(sys, comm, division))
+        let mut ws = workspaces[comm.rank()].lock();
+        with_kernels!(sys.params, M, K => hybrid_rank_body::<M, K>(sys, comm, division, &mut ws))
     })?;
     Ok((results.swap_remove(0), report))
 }
@@ -57,6 +77,7 @@ fn hybrid_rank_body<M: MathMode, K: RadiiApprox>(
     sys: &GbSystem,
     comm: &mut Comm,
     division: WorkDivision,
+    ws: &mut Workspace,
 ) -> Result<GbResult, CommError> {
     let rank = comm.rank();
     let p = comm.size();
@@ -68,14 +89,16 @@ fn hybrid_rank_body<M: MathMode, K: RadiiApprox>(
 
     // ---- Step 2: integrals over this rank's driving-leaf segment, one
     // task per leaf ordinal, per-worker accumulators merged in worker
-    // order. The interaction lists are built once per rank (replicated
-    // preprocessing, like the bins), and the rank boundaries are cut by
-    // measured list work. Atom-based division is only exercised through
-    // the distributed runner in the paper's ablation; the hybrid runner
-    // keeps the node-based scheme for any `division` value.
+    // order. The interaction lists are rebuilt in place per rank
+    // (replicated preprocessing, like the bins), and the rank boundaries
+    // are cut by measured list work. Atom-based division is only exercised
+    // through the distributed runner in the paper's ablation; the hybrid
+    // runner keeps the node-based scheme for any `division` value.
     let _ = division;
-    let born = BornLists::build(sys);
-    let seg = work_balanced_segments(born.leaf_work(), p).swap_remove(rank);
+    ws.born.rebuild(sys, ws.build_tasks, &mut ws.born_scratch);
+    work_balanced_segments_into(ws.born.leaf_work(), p, &mut ws.seg_ranges);
+    let seg = ws.seg_ranges[rank].clone();
+    let born = &ws.born;
     let worker_accs: Vec<Mutex<(IntegralAcc, f64)>> = (0..pool.workers())
         .map(|_| Mutex::new((IntegralAcc::zeros(sys), 0.0)))
         .collect();
@@ -87,63 +110,69 @@ fn hybrid_rank_body<M: MathMode, K: RadiiApprox>(
         *work += born.execute_range::<M, K>(sys, ord..ord + 1, acc);
     });
     comm.record_steals(stats.steals);
-    let mut acc = IntegralAcc::zeros(sys);
-    let mut work = born.build_work;
+    ws.acc.reset_for(sys);
+    let mut work = ws.born.build_work;
     for slot in &worker_accs {
         let guard = slot.lock();
-        acc.add(&guard.0);
+        ws.acc.add(&guard.0);
         work += guard.1;
     }
     drop(worker_accs);
     comm.record_work(work);
 
     // ---- Step 3: allreduce.
-    let mut flat = acc.to_flat();
-    comm.try_allreduce_sum(&mut flat)?;
-    let acc = IntegralAcc::from_flat(&flat, sys.ta.num_nodes());
-    drop(flat);
+    ws.acc.to_flat_into(&mut ws.flat);
+    comm.try_allreduce_sum(&mut ws.flat)?;
+    ws.acc.copy_from_flat(&ws.flat);
 
     // ---- Step 4: push for this rank's atom segment, split across
     // threads, each thread writing into a buffer sized for its own
     // sub-range (no full-length scratch per worker).
-    let my_atoms = atom_segments(sys.num_atoms(), p).swap_remove(rank);
-    let sub = crate::workdiv::even_ranges(my_atoms.len(), threads);
-    let push_parts: Vec<Mutex<(Vec<f64>, f64)>> = sub
+    even_ranges_into(sys.num_atoms(), p, &mut ws.atom_ranges);
+    let my_atoms = ws.atom_ranges[rank].clone();
+    even_ranges_into(my_atoms.len(), threads, &mut ws.leaf_ranges);
+    let sub = &ws.leaf_ranges;
+    let acc = &ws.acc;
+    type PushPart = Mutex<(Vec<f64>, f64, Vec<(NodeId, f64)>)>;
+    let push_parts: Vec<PushPart> = sub
         .iter()
-        .map(|s| Mutex::new((vec![0.0; s.len()], 0.0)))
+        .map(|s| Mutex::new((vec![0.0; s.len()], 0.0, Vec::new())))
         .collect();
     pool.run(threads, steal_seed ^ 0x9, |_wid, t| {
         let range = my_atoms.start + sub[t].start..my_atoms.start + sub[t].end;
         let mut slot = push_parts[t].lock();
-        let (values, w) = &mut *slot;
-        *w += push_integrals_into::<K>(sys, &acc, range, values);
+        let (values, w, stack) = &mut *slot;
+        *w += push_integrals_scratch::<M, K>(sys, acc, range, values, stack);
     });
-    let mut local = vec![0.0; my_atoms.len()];
+    ws.radii_tree.clear();
+    ws.radii_tree.resize(my_atoms.len(), 0.0);
     for (t, slot) in push_parts.iter().enumerate() {
         let guard = slot.lock();
         comm.record_work(guard.1);
-        local[sub[t].clone()].copy_from_slice(&guard.0);
+        ws.radii_tree[sub[t].clone()].copy_from_slice(&guard.0);
     }
     drop(push_parts);
 
     // ---- Step 5: allgather radii.
-    let radii_tree = comm.try_allgatherv(&local)?;
-    drop(local);
+    let radii_tree = comm.try_allgatherv(&ws.radii_tree)?;
 
     // ---- Step 6: energy over this rank's T_A leaf-ordinal segment via
     // the pool, boundaries balanced by the precomputed per-leaf list cost.
-    let bins = bins_for(sys, &radii_tree);
+    ws.bins.recompute(sys, &radii_tree);
     comm.record_work(bin_build_work(sys));
-    let energy = EnergyLists::build(sys);
-    let costs = energy.leaf_costs(sys, &bins);
-    let seg = work_balanced_segments(&costs, p).swap_remove(rank);
+    ws.energy.rebuild(sys, ws.build_tasks, &mut ws.energy_scratch);
+    let bins = &ws.bins;
+    let energy = &ws.energy;
+    let costs = energy.leaf_costs(sys, bins);
+    work_balanced_segments_into(&costs, p, &mut ws.seg_ranges);
+    let seg = ws.seg_ranges[rank].clone();
     let energy_parts: Vec<Mutex<(f64, f64)>> =
         (0..pool.workers()).map(|_| Mutex::new((0.0, 0.0))).collect();
     let seg_start = seg.start;
     let stats = pool.run(seg.len(), steal_seed ^ 0x77, |wid, task| {
         let mut slot = energy_parts[wid].lock();
         let (raw, w) = &mut *slot;
-        let (r, dw) = energy.execute_leaf::<M>(sys, &bins, &radii_tree, seg_start + task);
+        let (r, dw) = energy.execute_leaf::<M>(sys, bins, &radii_tree, seg_start + task);
         *raw += r;
         *w += dw;
     });

@@ -9,12 +9,12 @@
 //! cross-validation oracle); only the exact-kernel summation order changes,
 //! within the 1e-12 band the tests check.
 
+use crate::arena::{Workspace, WsOutput};
 use crate::fastmath::{ApproxMath, ExactMath};
 use crate::gbmath::{finalize_energy, R4, R6};
-use crate::integrals::{push_integrals_to_atoms, IntegralAcc};
-use crate::interaction::{BornLists, EnergyLists};
+use crate::integrals::push_integrals_scratch;
 use crate::params::{MathKind, RadiiKind};
-use crate::runners::{bins_for, with_kernels};
+use crate::runners::with_kernels;
 use crate::system::{GbResult, GbSystem};
 
 /// Output of a runner, with its work accounting.
@@ -29,28 +29,51 @@ pub struct SerialOutput {
 
 /// Runs the full serial octree pipeline.
 pub fn run_serial(sys: &GbSystem) -> SerialOutput {
+    let mut ws = Workspace::new();
+    let out = run_serial_ws(sys, &mut ws);
+    SerialOutput {
+        result: GbResult {
+            energy_kcal: out.energy_kcal,
+            born_radii: std::mem::take(&mut ws.radii_out),
+        },
+        born_work: out.born_work,
+        energy_work: out.energy_work,
+    }
+}
+
+/// [`run_serial`] over a caller-owned [`Workspace`]: bitwise the same
+/// result, but every buffer is reused across calls — a steady-state
+/// superstep allocates nothing once the arenas have warmed (with
+/// `build_tasks == 1`; see the `arena` module docs for the contract).
+/// The Born radii land in `ws.radii_out` (original atom order).
+pub fn run_serial_ws(sys: &GbSystem, ws: &mut Workspace) -> WsOutput {
     with_kernels!(sys.params, M, K => {
-        // Born phase: one dual-tree walk, then stream the lists.
-        let born = BornLists::build(sys);
-        let mut acc = IntegralAcc::zeros(sys);
-        let mut born_work = born.build_work;
-        born_work += born.execute_range::<M, K>(sys, 0..born.num_qleaves(), &mut acc);
-        let mut radii_tree = vec![0.0; sys.num_atoms()];
-        born_work += push_integrals_to_atoms::<K>(sys, &acc, 0..sys.num_atoms(), &mut radii_tree);
+        // Born phase: one dual-tree walk (rebuilt in place), then stream
+        // the lists.
+        ws.born.rebuild(sys, ws.build_tasks, &mut ws.born_scratch);
+        ws.acc.reset_for(sys);
+        let mut born_work = ws.born.build_work;
+        born_work += ws.born.execute_range::<M, K>(sys, 0..ws.born.num_qleaves(), &mut ws.acc);
+        ws.radii_tree.clear();
+        ws.radii_tree.resize(sys.num_atoms(), 0.0);
+        born_work += push_integrals_scratch::<M, K>(
+            sys,
+            &ws.acc,
+            0..sys.num_atoms(),
+            &mut ws.radii_tree,
+            &mut ws.push_stack,
+        );
 
         // Energy phase: same split over (T_A, T_A).
-        let energy = EnergyLists::build(sys);
-        let bins = bins_for(sys, &radii_tree);
+        ws.energy.rebuild(sys, ws.build_tasks, &mut ws.energy_scratch);
+        ws.bins.recompute(sys, &ws.radii_tree);
         let (raw, exec_work) =
-            energy.execute_leaves::<M>(sys, &bins, &radii_tree, 0..energy.num_vleaves());
-        let energy_work = energy.build_work + exec_work;
+            ws.energy.execute_leaves::<M>(sys, &ws.bins, &ws.radii_tree, 0..ws.energy.num_vleaves());
+        let energy_work = ws.energy.build_work + exec_work;
         let energy_kcal = finalize_energy(raw, sys.params.tau());
 
-        SerialOutput {
-            result: GbResult { energy_kcal, born_radii: sys.radii_to_original(&radii_tree) },
-            born_work,
-            energy_work,
-        }
+        sys.radii_to_original_into(&ws.radii_tree, &mut ws.radii_out);
+        WsOutput { energy_kcal, born_work, energy_work }
     })
 }
 

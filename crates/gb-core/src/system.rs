@@ -144,12 +144,20 @@ impl GbSystem {
 
     /// Maps Born radii from `T_A` tree order back to original atom order.
     pub fn radii_to_original(&self, radii_tree: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.radii_to_original_into(radii_tree, &mut out);
+        out
+    }
+
+    /// [`Self::radii_to_original`] into a reused buffer (cleared,
+    /// capacity kept).
+    pub fn radii_to_original_into(&self, radii_tree: &[f64], out: &mut Vec<f64>) {
         assert_eq!(radii_tree.len(), self.num_atoms());
-        let mut out = vec![0.0; radii_tree.len()];
+        out.clear();
+        out.resize(radii_tree.len(), 0.0);
         for (pos, &r) in radii_tree.iter().enumerate() {
             out[self.ta.point_index(pos)] = r;
         }
-        out
     }
 
     /// Maps per-atom values from original order into `T_A` tree order.

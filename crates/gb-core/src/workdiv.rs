@@ -29,10 +29,17 @@ pub enum WorkDivision {
 /// Splits `0..n` into `parts` contiguous ranges whose lengths differ by at
 /// most one (the paper's "divide evenly").
 pub fn even_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let mut out = Vec::with_capacity(parts);
+    even_ranges_into(n, parts, &mut out);
+    out
+}
+
+/// [`even_ranges`] into a reused buffer (cleared, capacity kept).
+pub fn even_ranges_into(n: usize, parts: usize, out: &mut Vec<Range<usize>>) {
     assert!(parts >= 1);
     let base = n / parts;
     let extra = n % parts;
-    let mut out = Vec::with_capacity(parts);
+    out.clear();
     let mut start = 0;
     for i in 0..parts {
         let len = base + usize::from(i < extra);
@@ -40,7 +47,6 @@ pub fn even_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
         start += len;
     }
     debug_assert_eq!(start, n);
-    out
 }
 
 /// Segments a tree's leaf list evenly by *leaf count* — the paper's scheme
@@ -94,10 +100,18 @@ pub fn atom_segments(num_atoms: usize, parts: usize) -> Vec<Range<usize>> {
 /// result depends only on `works`, so all ranks computing it from the same
 /// (replicated) lists agree without communication.
 pub fn work_balanced_segments(works: &[f64], parts: usize) -> Vec<Range<usize>> {
+    let mut out = Vec::with_capacity(parts);
+    work_balanced_segments_into(works, parts, &mut out);
+    out
+}
+
+/// [`work_balanced_segments`] into a reused buffer (cleared, capacity
+/// kept).
+pub fn work_balanced_segments_into(works: &[f64], parts: usize, out: &mut Vec<Range<usize>>) {
     assert!(parts >= 1);
     let n = works.len();
     let total: f64 = works.iter().sum();
-    let mut out = Vec::with_capacity(parts);
+    out.clear();
     let mut start = 0usize;
     let mut consumed = 0.0f64;
     for i in 0..parts {
@@ -119,7 +133,6 @@ pub fn work_balanced_segments(works: &[f64], parts: usize) -> Vec<Range<usize>> 
         start = end;
     }
     debug_assert_eq!(start, n);
-    out
 }
 
 #[cfg(test)]

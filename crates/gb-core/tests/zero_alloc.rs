@@ -1,0 +1,80 @@
+//! Proves the allocation-free superstep contract: once a [`Workspace`] has
+//! warmed to the problem size, `run_serial_ws` performs **zero** heap
+//! allocations (and zero frees) for an entire steady-state superstep.
+//!
+//! Lives in its own integration-test binary because it installs a counting
+//! `#[global_allocator]`, and because the count is only meaningful when no
+//! other test threads allocate concurrently — hence the single `#[test]`.
+
+use gb_core::arena::Workspace;
+use gb_core::params::{GbParams, MathKind};
+use gb_core::runners::serial::run_serial_ws;
+use gb_core::system::GbSystem;
+use gb_molecule::{synthesize_protein, SyntheticParams};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates straight to `System`; the counters are side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        FREES.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn counts() -> (u64, u64) {
+    (ALLOCS.load(Ordering::SeqCst), FREES.load(Ordering::SeqCst))
+}
+
+#[test]
+fn steady_state_superstep_allocates_nothing() {
+    for math in [MathKind::Exact, MathKind::Vector] {
+        let mol = synthesize_protein(&SyntheticParams::with_atoms(700, 21));
+        let mut params = GbParams::default();
+        params.math = math;
+        let sys = GbSystem::prepare(mol, params);
+
+        // build_tasks = 1: spawning scope threads allocates inside std, so
+        // the zero-alloc contract covers the on-thread build (which is
+        // byte-identical to any parallel task count anyway)
+        let mut ws = Workspace::new();
+
+        // two warm-up supersteps grow every arena to its steady-state
+        // capacity (the second catches capacity ratchets like Vec doubling)
+        let warm = run_serial_ws(&sys, &mut ws);
+        let warm2 = run_serial_ws(&sys, &mut ws);
+        assert_eq!(warm.energy_kcal.to_bits(), warm2.energy_kcal.to_bits());
+
+        let (a0, f0) = counts();
+        let steady = run_serial_ws(&sys, &mut ws);
+        let (a1, f1) = counts();
+
+        assert_eq!(steady.energy_kcal.to_bits(), warm.energy_kcal.to_bits());
+        assert_eq!(
+            (a1 - a0, f1 - f0),
+            (0, 0),
+            "{math:?}: steady-state superstep touched the heap \
+             ({} allocations, {} frees)",
+            a1 - a0,
+            f1 - f0,
+        );
+    }
+}

@@ -27,22 +27,46 @@ pub struct LeafSpans {
 }
 
 impl LeafSpans {
+    /// An empty summary holding no nodes — a reusable slot for
+    /// [`LeafSpans::recompute`] (steady-state callers keep one per walk
+    /// scratch so recomputation allocates nothing once warmed).
+    pub fn empty() -> LeafSpans {
+        LeafSpans {
+            first: Vec::new(),
+            last: Vec::new(),
+            min_leaf_radius: Vec::new(),
+            max_leaf_radius: Vec::new(),
+        }
+    }
+
     /// Computes the spans in one reverse sweep over the preorder node
     /// array (children always follow their parent, so a reverse scan sees
     /// every child before its parent).
     pub fn compute(tree: &Octree) -> LeafSpans {
+        let mut spans = Self::empty();
+        spans.recompute(tree);
+        spans
+    }
+
+    /// Recomputes the spans in place, reusing the existing allocations
+    /// (no heap traffic when the node count is unchanged).
+    pub fn recompute(&mut self, tree: &Octree) {
         let n = tree.num_nodes();
-        let mut first = vec![u32::MAX; n];
-        let mut last = vec![0u32; n];
-        let mut min_r = vec![f64::INFINITY; n];
-        let mut max_r = vec![f64::NEG_INFINITY; n];
+        self.first.clear();
+        self.first.resize(n, u32::MAX);
+        self.last.clear();
+        self.last.resize(n, 0u32);
+        self.min_leaf_radius.clear();
+        self.min_leaf_radius.resize(n, f64::INFINITY);
+        self.max_leaf_radius.clear();
+        self.max_leaf_radius.resize(n, f64::NEG_INFINITY);
         for (ord, &leaf) in tree.leaves().iter().enumerate() {
             let i = leaf as usize;
-            first[i] = ord as u32;
-            last[i] = ord as u32 + 1;
+            self.first[i] = ord as u32;
+            self.last[i] = ord as u32 + 1;
             let r = tree.node(leaf).radius;
-            min_r[i] = r;
-            max_r[i] = r;
+            self.min_leaf_radius[i] = r;
+            self.max_leaf_radius[i] = r;
         }
         for id in (0..n).rev() {
             let node = tree.node(id as NodeId);
@@ -51,13 +75,19 @@ impl LeafSpans {
             }
             for c in node.children() {
                 let c = c as usize;
-                first[id] = first[id].min(first[c]);
-                last[id] = last[id].max(last[c]);
-                min_r[id] = min_r[id].min(min_r[c]);
-                max_r[id] = max_r[id].max(max_r[c]);
+                self.first[id] = self.first[id].min(self.first[c]);
+                self.last[id] = self.last[id].max(self.last[c]);
+                self.min_leaf_radius[id] = self.min_leaf_radius[id].min(self.min_leaf_radius[c]);
+                self.max_leaf_radius[id] = self.max_leaf_radius[id].max(self.max_leaf_radius[c]);
             }
         }
-        LeafSpans { first, last, min_leaf_radius: min_r, max_leaf_radius: max_r }
+    }
+
+    /// Heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        (self.first.capacity() + self.last.capacity()) * std::mem::size_of::<u32>()
+            + (self.min_leaf_radius.capacity() + self.max_leaf_radius.capacity())
+                * std::mem::size_of::<f64>()
     }
 
     /// Leaf-ordinal range covered by `id`'s subtree.

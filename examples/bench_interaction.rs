@@ -4,33 +4,124 @@
 //! ```text
 //! cargo run --release --example bench_interaction > BENCH_interaction.json
 //! ```
+//!
+//! Besides the original traversal-vs-list comparison, the snapshot carries
+//! two optimization columns:
+//!
+//! * `list_build_parallel_ms` — the same CSR lists built by
+//!   `build_tasks(sys, tasks)` range-parallel walks (byte-identical layout;
+//!   `build_tasks` reports the task count, `build_threads` the cores the
+//!   host actually offers — on a single-core box the parallel build is
+//!   just the partitioned walk on one thread);
+//! * `simd_exec_ms` — list execution under `VectorMath` at the
+//!   runtime-dispatched SIMD level (`simd_level`), against
+//!   `scalar_exec_ms`: the *same* math mode forced to the scalar reference
+//!   loops. The level is a process-wide `OnceLock`, so the scalar column
+//!   comes from re-running this binary as a child process with
+//!   `GB_SIMD=scalar` — an apples-to-apples SIMD-vs-scalar measurement
+//!   (both levels produce bit-identical energies by construction).
+//!   `simd_energy_rel_err` bounds the `VectorMath`-vs-`ExactMath` energy
+//!   deviation on identical radii and bins.
 
 use gb_polarize::core::bins::ChargeBins;
 use gb_polarize::core::energy::energy_for_leaves;
-use gb_polarize::core::fastmath::ExactMath;
+use gb_polarize::core::fastmath::{ExactMath, VectorMath};
 use gb_polarize::core::gbmath::R6;
 use gb_polarize::core::integrals::{accumulate_qleaf, push_integrals_to_atoms, IntegralAcc};
+use gb_polarize::core::simd::SimdLevel;
 use gb_polarize::core::{BornLists, EnergyLists};
 use gb_polarize::prelude::*;
 
 /// Best-of-`reps` wall time in milliseconds, plus the run's work units.
+///
+/// Every closure must route its full numeric result through
+/// [`std::hint::black_box`] — earlier revisions returned only the work
+/// tally and let LLVM dead-code-eliminate the actual energy arithmetic,
+/// which made the energy-phase columns ~10× too optimistic.
 fn timed<F: FnMut() -> f64>(reps: usize, mut f: F) -> (f64, f64) {
     let mut best = f64::INFINITY;
     let mut work = 0.0;
     for _ in 0..reps {
         let t0 = std::time::Instant::now();
-        work = f();
+        work = std::hint::black_box(f());
         best = best.min(t0.elapsed().as_secs_f64() * 1e3);
     }
     (best, work)
+}
+
+/// `VectorMath` list-execution times (born, energy) in ms at whatever SIMD
+/// level this process dispatched — the quantity compared across levels.
+fn vector_exec_times(
+    sys: &GbSystem,
+    born: &BornLists,
+    energy: &EnergyLists,
+    bins: &ChargeBins,
+    radii: &[f64],
+    reps: usize,
+) -> (f64, f64) {
+    let (born_ms, _) = timed(reps, || {
+        let mut acc = IntegralAcc::zeros(sys);
+        let work = born.execute_range::<VectorMath, R6>(sys, 0..born.num_qleaves(), &mut acc);
+        std::hint::black_box(&acc);
+        work
+    });
+    let (energy_ms, _) = timed(reps, || {
+        let (raw, work) =
+            energy.execute_leaves::<VectorMath>(sys, bins, radii, 0..energy.num_vleaves());
+        std::hint::black_box(raw);
+        work
+    });
+    (born_ms, energy_ms)
+}
+
+/// Re-runs this binary with `GB_SIMD=scalar` to time the scalar reference
+/// loops (the dispatch level is decided once per process). The child
+/// prints two floats; a failure degrades to NaN columns rather than
+/// aborting the snapshot.
+fn scalar_exec_times_via_child(n_atoms: usize) -> (f64, f64) {
+    let out = std::env::current_exe().ok().and_then(|exe| {
+        std::process::Command::new(exe)
+            .arg(n_atoms.to_string())
+            .env("GB_SIMD", "scalar")
+            .env("GB_BENCH_EXEC_CHILD", "1")
+            .output()
+            .ok()
+    });
+    let parsed = out.and_then(|o| {
+        let s = String::from_utf8(o.stdout).ok()?;
+        let mut it = s.split_whitespace().map(|t| t.parse::<f64>());
+        Some((it.next()?.ok()?, it.next()?.ok()?))
+    });
+    parsed.unwrap_or((f64::NAN, f64::NAN))
 }
 
 fn main() {
     let n_atoms: usize =
         std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
     let reps = 3usize;
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let build_tasks = threads.max(4);
     let mol = synthesize_protein(&SyntheticParams::with_atoms(n_atoms, 4242));
     let sys = GbSystem::prepare(mol, GbParams::default());
+    let child_mode = std::env::var("GB_BENCH_EXEC_CHILD").is_ok();
+
+    let born = BornLists::build(&sys);
+
+    // radii + bins once, for the energy phase (ExactMath radii are
+    // bit-identical at every SIMD level, so parent and child agree)
+    let mut acc = IntegralAcc::zeros(&sys);
+    born.execute_range::<ExactMath, R6>(&sys, 0..born.num_qleaves(), &mut acc);
+    let mut radii = vec![0.0; sys.num_atoms()];
+    push_integrals_to_atoms::<R6>(&sys, &acc, 0..sys.num_atoms(), &mut radii);
+    let bins = ChargeBins::compute(&sys, &radii);
+
+    let energy = EnergyLists::build(&sys);
+
+    if child_mode {
+        let (b, e) = vector_exec_times(&sys, &born, &energy, &bins, &radii, reps);
+        println!("{b:.3} {e:.3}");
+        return;
+    }
 
     // ---- Born phase: per-leaf traversal (the seed engine) ...
     let (trav_ms, trav_work) = timed(reps, || {
@@ -40,32 +131,48 @@ fn main() {
         for &q in sys.tq.leaves() {
             work += accumulate_qleaf::<ExactMath, R6>(&sys, q, &mut acc, &mut stack);
         }
+        std::hint::black_box(&acc);
         work
     });
 
     // ... vs one list build + batched execution
     let (build_ms, build_work) = timed(reps, || BornLists::build(&sys).build_work);
-    let born = BornLists::build(&sys);
+    let (pbuild_ms, _) = timed(reps, || BornLists::build_tasks(&sys, build_tasks).build_work);
     let (exec_ms, exec_work) = timed(reps, || {
         let mut acc = IntegralAcc::zeros(&sys);
-        born.execute_range::<ExactMath, R6>(&sys, 0..born.num_qleaves(), &mut acc)
+        let work = born.execute_range::<ExactMath, R6>(&sys, 0..born.num_qleaves(), &mut acc);
+        std::hint::black_box(&acc);
+        work
     });
-
-    // radii + bins once, for the energy phase
-    let mut acc = IntegralAcc::zeros(&sys);
-    born.execute_range::<ExactMath, R6>(&sys, 0..born.num_qleaves(), &mut acc);
-    let mut radii = vec![0.0; sys.num_atoms()];
-    push_integrals_to_atoms::<R6>(&sys, &acc, 0..sys.num_atoms(), &mut radii);
-    let bins = ChargeBins::compute(&sys, &radii);
 
     // ---- Energy phase, same comparison
-    let (etrav_ms, etrav_work) =
-        timed(reps, || energy_for_leaves::<ExactMath>(&sys, &bins, &radii, sys.ta.leaves()).1);
-    let (ebuild_ms, ebuild_work) = timed(reps, || EnergyLists::build(&sys).build_work);
-    let energy = EnergyLists::build(&sys);
-    let (eexec_ms, eexec_work) = timed(reps, || {
-        energy.execute_leaves::<ExactMath>(&sys, &bins, &radii, 0..energy.num_vleaves()).1
+    let (etrav_ms, etrav_work) = timed(reps, || {
+        let (raw, work) = energy_for_leaves::<ExactMath>(&sys, &bins, &radii, sys.ta.leaves());
+        std::hint::black_box(raw);
+        work
     });
+    let (ebuild_ms, ebuild_work) = timed(reps, || EnergyLists::build(&sys).build_work);
+    let (epbuild_ms, _) = timed(reps, || EnergyLists::build_tasks(&sys, build_tasks).build_work);
+    let (eexec_ms, eexec_work) = timed(reps, || {
+        let (raw, work) =
+            energy.execute_leaves::<ExactMath>(&sys, &bins, &radii, 0..energy.num_vleaves());
+        std::hint::black_box(raw);
+        work
+    });
+
+    // ---- SIMD columns: VectorMath at the dispatched level vs the same
+    // math forced scalar in a child process
+    let (simd_exec_ms, esimd_exec_ms) =
+        vector_exec_times(&sys, &born, &energy, &bins, &radii, reps);
+    let (scalar_exec_ms, escalar_exec_ms) = scalar_exec_times_via_child(n_atoms);
+
+    // Accuracy guard for the fastmath column: raw energy of the two math
+    // modes over identical radii and bins.
+    let raw_exact =
+        energy.execute_leaves::<ExactMath>(&sys, &bins, &radii, 0..energy.num_vleaves()).0;
+    let raw_simd =
+        energy.execute_leaves::<VectorMath>(&sys, &bins, &radii, 0..energy.num_vleaves()).0;
+    let rel_err = ((raw_simd - raw_exact) / raw_exact).abs();
 
     let born_speedup = trav_ms / exec_ms;
     let energy_speedup = etrav_ms / eexec_ms;
@@ -74,13 +181,22 @@ fn main() {
     println!("  \"n_atoms\": {},", sys.num_atoms());
     println!("  \"n_qpoints\": {},", sys.num_qpoints());
     println!("  \"reps\": {reps},");
+    println!("  \"build_tasks\": {build_tasks},");
+    println!("  \"build_threads\": {threads},");
+    println!("  \"simd_level\": \"{}\",", SimdLevel::active().name());
+    println!("  \"simd_energy_rel_err\": {rel_err:.3e},");
     println!("  \"born\": {{");
     println!("    \"traversal_ms\": {trav_ms:.3},");
     println!("    \"traversal_work_units\": {trav_work:.1},");
     println!("    \"list_build_ms\": {build_ms:.3},");
     println!("    \"list_build_work_units\": {build_work:.1},");
+    println!("    \"list_build_parallel_ms\": {pbuild_ms:.3},");
+    println!("    \"list_build_parallel_speedup\": {:.3},", build_ms / pbuild_ms);
     println!("    \"list_exec_ms\": {exec_ms:.3},");
     println!("    \"list_exec_work_units\": {exec_work:.1},");
+    println!("    \"scalar_exec_ms\": {scalar_exec_ms:.3},");
+    println!("    \"simd_exec_ms\": {simd_exec_ms:.3},");
+    println!("    \"simd_exec_speedup\": {:.3},", scalar_exec_ms / simd_exec_ms);
     println!("    \"exec_speedup_vs_traversal\": {born_speedup:.3}");
     println!("  }},");
     println!("  \"energy\": {{");
@@ -88,8 +204,13 @@ fn main() {
     println!("    \"traversal_work_units\": {etrav_work:.1},");
     println!("    \"list_build_ms\": {ebuild_ms:.3},");
     println!("    \"list_build_work_units\": {ebuild_work:.1},");
+    println!("    \"list_build_parallel_ms\": {epbuild_ms:.3},");
+    println!("    \"list_build_parallel_speedup\": {:.3},", ebuild_ms / epbuild_ms);
     println!("    \"list_exec_ms\": {eexec_ms:.3},");
     println!("    \"list_exec_work_units\": {eexec_work:.1},");
+    println!("    \"scalar_exec_ms\": {escalar_exec_ms:.3},");
+    println!("    \"simd_exec_ms\": {esimd_exec_ms:.3},");
+    println!("    \"simd_exec_speedup\": {:.3},", escalar_exec_ms / esimd_exec_ms);
     println!("    \"exec_speedup_vs_traversal\": {energy_speedup:.3}");
     println!("  }}");
     println!("}}");

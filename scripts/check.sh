@@ -5,4 +5,8 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# Exercise the portable SIMD fallback too: GB_SIMD=portable forces the
+# autovectorizable scalar-lane path even on AVX2 hosts, so both dispatch
+# targets stay green (the gb-core unit tests assert they agree bitwise).
+GB_SIMD=portable cargo test -q -p gb-core
 cargo clippy --workspace -- -D warnings

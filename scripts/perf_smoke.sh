@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Perf smoke gate: fails when the interaction-list *build* phase regresses
+# more than the allowed factor against scripts/perf_baseline.json.
+#
+# The gated quantity is the ratio list_build_ms / traversal_ms per phase,
+# measured by examples/bench_interaction on a small system: numerator and
+# denominator come from the same process on the same machine, so the gate
+# tracks algorithmic regressions (a slower walk, lost batching) rather
+# than runner hardware. Each run's ratio is already best-of-reps; the
+# gate takes the minimum over several runs to damp scheduler noise.
+#
+#   scripts/perf_smoke.sh            # check against the baseline
+#   scripts/perf_smoke.sh --update   # rewrite the baseline from this host
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=scripts/perf_baseline.json
+N_ATOMS=$(python3 -c "import json; print(json.load(open('$BASELINE'))['n_atoms'])")
+RUNS=$(python3 -c "import json; print(json.load(open('$BASELINE'))['runs'])")
+
+cargo build --release --example bench_interaction
+
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+for i in $(seq "$RUNS"); do
+    ./target/release/examples/bench_interaction "$N_ATOMS" > "$OUT/run$i.json"
+done
+
+python3 - "$BASELINE" "$OUT" "${1:-}" <<'EOF'
+import glob, json, sys
+
+baseline_path, out_dir, mode = sys.argv[1], sys.argv[2], sys.argv[3]
+baseline = json.load(open(baseline_path))
+runs = [json.load(open(p)) for p in sorted(glob.glob(out_dir + "/run*.json"))]
+
+ratios = {
+    phase + "_build_over_traversal": min(
+        r[phase]["list_build_ms"] / r[phase]["traversal_ms"] for r in runs
+    )
+    for phase in ("born", "energy")
+}
+
+if mode == "--update":
+    for key, val in ratios.items():
+        baseline[key] = round(val, 4)
+    json.dump(baseline, open(baseline_path, "w"), indent=2)
+    open(baseline_path, "a").write("\n")
+    print(f"baseline updated: {ratios}")
+    sys.exit(0)
+
+factor = baseline["max_regression_factor"]
+failed = False
+for key, measured in ratios.items():
+    allowed = baseline[key] * factor
+    verdict = "ok" if measured <= allowed else "REGRESSED"
+    print(f"{key}: measured {measured:.4f}  baseline {baseline[key]:.4f}  "
+          f"allowed {allowed:.4f}  {verdict}")
+    failed |= measured > allowed
+sys.exit(1 if failed else 0)
+EOF

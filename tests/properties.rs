@@ -3,7 +3,7 @@
 
 use gb_polarize::core::bins::ChargeBins;
 use gb_polarize::core::energy::energy_for_leaves;
-use gb_polarize::core::fastmath::{ApproxMath, ExactMath, MathMode};
+use gb_polarize::core::fastmath::{ApproxMath, ExactMath, MathMode, VectorMath};
 use gb_polarize::core::gbmath::{RadiiApprox, R4, R6};
 use gb_polarize::core::integrals::{accumulate_qleaf, push_integrals_to_atoms, IntegralAcc};
 use gb_polarize::core::{BornLists, EnergyLists};
@@ -57,6 +57,8 @@ fn engine_divergence_for(n: usize, seed: u64, math: MathKind, radii: RadiiKind) 
         (MathKind::Exact, RadiiKind::R4) => engine_divergence::<ExactMath, R4>(&sys),
         (MathKind::Approximate, RadiiKind::R6) => engine_divergence::<ApproxMath, R6>(&sys),
         (MathKind::Approximate, RadiiKind::R4) => engine_divergence::<ApproxMath, R4>(&sys),
+        (MathKind::Vector, RadiiKind::R6) => engine_divergence::<VectorMath, R6>(&sys),
+        (MathKind::Vector, RadiiKind::R4) => engine_divergence::<VectorMath, R4>(&sys),
     }
 }
 
@@ -65,7 +67,7 @@ fn list_engine_matches_traversal_for_all_kernel_combos() {
     // deterministic sweep: every MathKind × RadiiKind monomorphization, at
     // degenerate (1-atom / single-leaf) and multi-level tree sizes
     for n in [1usize, 2, 25, 400] {
-        for math in [MathKind::Exact, MathKind::Approximate] {
+        for math in [MathKind::Exact, MathKind::Approximate, MathKind::Vector] {
             for radii in [RadiiKind::R6, RadiiKind::R4] {
                 let (dr, de) = engine_divergence_for(n, 7, math, radii);
                 assert!(
@@ -221,6 +223,35 @@ proptest! {
             prop_assert!(r >= sys.molecule.radii()[i] - 1e-9);
             prop_assert!(r.is_finite());
         }
+    }
+
+    #[test]
+    fn parallel_list_build_is_byte_identical_to_serial(
+        n in 1usize..90,
+        seed in 0u64..500,
+        cap in 1usize..16,
+        tasks in 2usize..16,
+    ) {
+        // the tentpole invariant: the task-parallel range walks must
+        // reproduce the serial CSR layout *exactly* — offsets, targets and
+        // per-leaf work units, for any system shape, leaf cap and task count
+        let mol = synthesize_protein(&SyntheticParams::with_atoms(n, seed));
+        let mut params = GbParams::default();
+        params.leaf_cap = cap;
+        let sys = GbSystem::prepare(mol, params);
+
+        let born_serial = BornLists::build(&sys);
+        let born_par = BornLists::build_tasks(&sys, tasks);
+        prop_assert_eq!(&born_serial, &born_par);
+        prop_assert_eq!(born_serial.build_work.to_bits(), born_par.build_work.to_bits());
+        for (a, b) in born_serial.leaf_work().iter().zip(born_par.leaf_work()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let energy_serial = EnergyLists::build(&sys);
+        let energy_par = EnergyLists::build_tasks(&sys, tasks);
+        prop_assert_eq!(&energy_serial, &energy_par);
+        prop_assert_eq!(energy_serial.build_work.to_bits(), energy_par.build_work.to_bits());
     }
 
     #[test]
