@@ -19,8 +19,18 @@ pub struct RankLedger {
     pub work_units: f64,
     /// Modeled communication time in seconds.
     pub comm_seconds: f64,
+    /// Modeled time of *overlappable* communication (nonblocking sends and
+    /// receives posted while compute proceeds). Composed as
+    /// `max(compute, overlap) + comm` instead of being added to
+    /// [`comm_seconds`], so pipelined phases are billed for whichever of
+    /// compute or in-flight traffic dominates.
+    pub overlap_seconds: f64,
     /// Total bytes this rank sent (p2p) or contributed (collectives).
     pub bytes_moved: u64,
+    /// Bytes moved, broken down by [`OpKind`] (indexed by
+    /// [`OpKind::index`]) — lets benchmarks compare e.g. dense allreduce
+    /// traffic against sparse-exchange traffic from real runs.
+    pub op_bytes: [u64; OpKind::COUNT],
     /// Number of communication operations (p2p + collectives).
     pub comm_ops: u64,
     /// Peak replicated memory attributed to this rank, in bytes.
@@ -47,6 +57,29 @@ impl RankLedger {
         self.comm_seconds += seconds;
         self.bytes_moved += bytes;
         self.comm_ops += 1;
+    }
+
+    /// Adds modeled *blocking* communication attributed to a specific op.
+    #[inline]
+    pub fn add_comm_for(&mut self, op: OpKind, seconds: f64, bytes: u64) {
+        self.add_comm(seconds, bytes);
+        self.op_bytes[op.index()] += bytes;
+    }
+
+    /// Adds modeled *overlappable* communication (nonblocking traffic that
+    /// hides behind compute) attributed to a specific op.
+    #[inline]
+    pub fn add_overlap_for(&mut self, op: OpKind, seconds: f64, bytes: u64) {
+        self.overlap_seconds += seconds;
+        self.bytes_moved += bytes;
+        self.comm_ops += 1;
+        self.op_bytes[op.index()] += bytes;
+    }
+
+    /// Bytes this rank moved under the given op kind.
+    #[inline]
+    pub fn bytes_for(&self, op: OpKind) -> u64 {
+        self.op_bytes[op.index()]
     }
 
     /// Records this rank's replicated working set (max over the run).
@@ -96,8 +129,11 @@ impl RunReport {
         self.ledgers.iter().map(|l| l.replicated_bytes).sum()
     }
 
-    /// Modeled parallel time: `max_rank(compute + comm)`, where each rank's
-    /// compute time includes its node's memory-pressure slowdown.
+    /// Modeled parallel time: `max_rank(max(compute, overlap) + comm)`,
+    /// where each rank's compute time includes its node's memory-pressure
+    /// slowdown. Overlappable (nonblocking) traffic hides behind compute:
+    /// only whichever of the two dominates is billed, while blocking
+    /// collectives still serialize after it.
     pub fn modeled_time(&self, cost: &CostModel) -> f64 {
         let sets = self.node_working_sets();
         self.ledgers
@@ -105,9 +141,14 @@ impl RunReport {
             .zip(&self.placements)
             .map(|(l, p)| {
                 let ws = sets.get(p.node).copied().unwrap_or(0.0);
-                cost.compute_time(l.work_units, ws) + l.comm_seconds
+                cost.compute_time(l.work_units, ws).max(l.overlap_seconds) + l.comm_seconds
             })
             .fold(0.0, f64::max)
+    }
+
+    /// Total bytes moved under the given op kind, summed over ranks.
+    pub fn bytes_for_op(&self, op: OpKind) -> u64 {
+        self.ledgers.iter().map(|l| l.bytes_for(op)).sum()
     }
 
     /// Modeled time decomposition `(max compute, max comm)` for reporting.
@@ -117,7 +158,10 @@ impl RunReport {
             .ledgers
             .iter()
             .zip(&self.placements)
-            .map(|(l, p)| cost.compute_time(l.work_units, sets.get(p.node).copied().unwrap_or(0.0)))
+            .map(|(l, p)| {
+                cost.compute_time(l.work_units, sets.get(p.node).copied().unwrap_or(0.0))
+                    .max(l.overlap_seconds)
+            })
             .fold(0.0, f64::max);
         let comm = self.ledgers.iter().map(|l| l.comm_seconds).fold(0.0, f64::max);
         (comp, comm)
@@ -176,6 +220,37 @@ mod tests {
         assert_eq!(l.bytes_moved, 800);
         assert_eq!(l.comm_ops, 1);
         assert_eq!(l.replicated_bytes, 100);
+    }
+
+    #[test]
+    fn per_op_bytes_and_overlap_accumulate() {
+        let mut l = RankLedger::default();
+        l.add_comm_for(OpKind::AllreduceSum, 0.1, 1000);
+        l.add_overlap_for(OpKind::Isend, 0.02, 64);
+        l.add_overlap_for(OpKind::Isend, 0.03, 36);
+        assert_eq!(l.bytes_for(OpKind::AllreduceSum), 1000);
+        assert_eq!(l.bytes_for(OpKind::Isend), 100);
+        assert_eq!(l.bytes_for(OpKind::SparseExchange), 0);
+        assert_eq!(l.bytes_moved, 1100);
+        assert_eq!(l.comm_ops, 3);
+        assert!((l.comm_seconds - 0.1).abs() < 1e-15);
+        assert!((l.overlap_seconds - 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn overlap_hides_behind_compute_in_modeled_time() {
+        let cost = CostModel::default();
+        let mut r = report(&[100.0], (12, 1));
+        let compute = cost.compute_time(100.0, r.node_working_sets()[0]);
+        // overlap smaller than compute: fully hidden
+        r.ledgers[0].add_overlap_for(OpKind::Isend, compute * 0.5, 8);
+        assert!((r.modeled_time(&cost) - compute).abs() < 1e-15);
+        // overlap dominating compute: billed instead of it
+        r.ledgers[0].add_overlap_for(OpKind::Isend, compute * 1.5, 8);
+        assert!((r.modeled_time(&cost) - compute * 2.0).abs() < 1e-12);
+        // blocking comm still serializes on top
+        r.ledgers[0].add_comm_for(OpKind::AllreduceSum, 0.25, 8);
+        assert!((r.modeled_time(&cost) - (compute * 2.0 + 0.25)).abs() < 1e-12);
     }
 
     #[test]

@@ -41,7 +41,7 @@ use crate::barrier::{Barrier, Poison, WaitError};
 use crate::costmodel::{CommLevel, CostModel};
 use crate::fault::{CommError, CommErrorKind, FaultPlan, OpKind, P2pAction, RankOpState};
 use crate::topology::{ClusterTopology, Placement};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -336,6 +336,51 @@ impl SimCluster {
     }
 }
 
+/// Handle for a nonblocking send posted with [`Comm::try_isend`].
+///
+/// The simulated transport buffers without bound, so the payload is already
+/// on the wire when the handle is returned; [`Comm::try_wait_send`] only
+/// re-checks for poison. The handle still makes the code shape match a real
+/// MPI pipeline (`MPI_Isend` → compute → `MPI_Wait`).
+#[derive(Debug)]
+#[must_use = "an isend should eventually be waited on"]
+pub struct SendHandle {
+    to: usize,
+    words: usize,
+}
+
+impl SendHandle {
+    /// Destination rank.
+    pub fn dest(&self) -> usize {
+        self.to
+    }
+
+    /// Payload size in 8-byte words.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+}
+
+/// Handle for a nonblocking receive posted with [`Comm::try_irecv`].
+///
+/// Poll it with [`Comm::try_poll_recv`] between compute chunks, or block on
+/// it with [`Comm::try_wait_recv`]. The watchdog deadline is anchored at the
+/// *post* time, so a message dropped by the fault plan converts into a
+/// [`CommErrorKind::Timeout`] no matter how the caller drives the handle.
+#[derive(Debug)]
+#[must_use = "an irecv must be polled or waited on to produce the message"]
+pub struct RecvHandle {
+    from: usize,
+    posted: Instant,
+}
+
+impl RecvHandle {
+    /// Source rank.
+    pub fn source(&self) -> usize {
+        self.from
+    }
+}
+
 /// Terminal state of one rank thread.
 enum RankEnd<R> {
     Done(R),
@@ -507,36 +552,176 @@ impl Comm {
         self.send_counts[to] += 1;
         let words = payload.len();
         let level = CommLevel::between(&self.placements[self.rank], &self.placements[to]);
-        self.ledger.add_comm(self.cost.p2p(level, words), (words * 8) as u64);
+        self.ledger.add_comm_for(OpKind::Send, self.cost.p2p(level, words), (words * 8) as u64);
         match self.fault_plan.p2p_action(self.rank, to, nth) {
             P2pAction::Drop => {} // message vanishes on the wire
             P2pAction::Delay(d) => {
                 std::thread::sleep(d);
-                self.deliver(to, payload)?;
+                self.deliver(to, payload, OpKind::Send)?;
             }
-            P2pAction::Deliver => self.deliver(to, payload)?,
+            P2pAction::Deliver => self.deliver(to, payload, OpKind::Send)?,
         }
         self.end_op();
         Ok(())
     }
 
-    fn deliver(&self, to: usize, payload: Vec<f64>) -> Result<(), CommError> {
+    fn deliver(&self, to: usize, payload: Vec<f64>, op: OpKind) -> Result<(), CommError> {
         self.senders[self.rank][to].send(payload).map_err(|_| match self
             .ctx
             .barrier
             .poison_state()
         {
-            Some(p) => self.poisoned_error(p, OpKind::Send),
+            Some(p) => self.poisoned_error(p, op),
             None => CommError {
                 kind: CommErrorKind::Poisoned {
                     origin: to,
                     reason: format!("rank {to} closed its channels"),
                 },
                 rank: self.rank,
-                op: Some(OpKind::Send),
+                op: Some(op),
                 rank_states: self.snapshot_states(),
             },
         })
+    }
+
+    /// Nonblocking send: posts the payload and returns immediately with a
+    /// [`SendHandle`]. Modeled cost lands in the ledger's *overlap* bucket
+    /// — time that hides behind compute instead of serializing after it —
+    /// which is the whole point of pipelining list-chunk execution with
+    /// chunk sends. Subject to fault-plan delay/drop like a blocking send.
+    pub fn try_isend(&mut self, to: usize, payload: Vec<f64>) -> Result<SendHandle, CommError> {
+        assert!(to < self.size && to != self.rank, "bad destination {to}");
+        self.begin_op(OpKind::Isend)?;
+        let nth = self.send_counts[to];
+        self.send_counts[to] += 1;
+        let words = payload.len();
+        let level = CommLevel::between(&self.placements[self.rank], &self.placements[to]);
+        self.ledger.add_overlap_for(OpKind::Isend, self.cost.p2p(level, words), (words * 8) as u64);
+        match self.fault_plan.p2p_action(self.rank, to, nth) {
+            P2pAction::Drop => {} // message vanishes on the wire
+            P2pAction::Delay(d) => {
+                std::thread::sleep(d);
+                self.deliver(to, payload, OpKind::Isend)?;
+            }
+            P2pAction::Deliver => self.deliver(to, payload, OpKind::Isend)?,
+        }
+        self.end_op();
+        Ok(SendHandle { to, words })
+    }
+
+    /// Completes a nonblocking send. The simulated transport buffers
+    /// without bound, so the payload already left at post time; waiting
+    /// only re-checks for poison so in-flight sends of a dying run fail
+    /// fast instead of being silently forgotten.
+    pub fn try_wait_send(&mut self, handle: SendHandle) -> Result<(), CommError> {
+        let SendHandle { .. } = handle;
+        if let Some(p) = self.ctx.barrier.poison_state() {
+            return Err(self.poisoned_error(p, OpKind::Isend));
+        }
+        Ok(())
+    }
+
+    /// Posts a nonblocking receive from `from` and returns a poll-able
+    /// [`RecvHandle`]. The watchdog deadline starts now.
+    pub fn try_irecv(&mut self, from: usize) -> Result<RecvHandle, CommError> {
+        assert!(from < self.size && from != self.rank, "bad source {from}");
+        self.begin_op(OpKind::Irecv)?;
+        self.end_op();
+        Ok(RecvHandle { from, posted: Instant::now() })
+    }
+
+    /// Polls a posted receive without blocking: `Ok(Some(payload))` once
+    /// the message arrived, `Ok(None)` while still in flight. Observed
+    /// poison and an expired watchdog deadline (anchored at the post)
+    /// convert into errors exactly like the blocking receive.
+    pub fn try_poll_recv(&mut self, handle: &RecvHandle) -> Result<Option<Vec<f64>>, CommError> {
+        match self.receivers[handle.from].try_recv() {
+            Ok(payload) => {
+                let level =
+                    CommLevel::between(&self.placements[self.rank], &self.placements[handle.from]);
+                self.ledger.add_overlap_for(OpKind::Irecv, self.cost.p2p(level, payload.len()), 0);
+                Ok(Some(payload))
+            }
+            Err(TryRecvError::Disconnected) => Err(self.closed_channel_error(handle.from)),
+            Err(TryRecvError::Empty) => {
+                if let Some(p) = self.ctx.barrier.poison_state() {
+                    return Err(self.poisoned_error(p, OpKind::Irecv));
+                }
+                if let Some(t) = self.timeout {
+                    if handle.posted.elapsed() >= t {
+                        return Err(self.recv_timeout_error(handle.from, OpKind::Irecv));
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Blocks until a posted receive completes (or fails). Unlike polls —
+    /// whose modeled cost overlaps compute — the time spent here is billed
+    /// as blocking communication: the pipeline has run out of compute to
+    /// hide the message behind.
+    pub fn try_wait_recv(&mut self, handle: RecvHandle) -> Result<Vec<f64>, CommError> {
+        let deadline = self.timeout.map(|t| handle.posted + t);
+        loop {
+            match self.receivers[handle.from].recv_timeout(POISON_POLL) {
+                Ok(payload) => {
+                    let level = CommLevel::between(
+                        &self.placements[self.rank],
+                        &self.placements[handle.from],
+                    );
+                    self.ledger.add_comm_for(
+                        OpKind::Irecv,
+                        self.cost.p2p(level, payload.len()),
+                        0,
+                    );
+                    return Ok(payload);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(self.closed_channel_error(handle.from));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(p) = self.ctx.barrier.poison_state() {
+                        return Err(self.poisoned_error(p, OpKind::Irecv));
+                    }
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return Err(self.recv_timeout_error(handle.from, OpKind::Irecv));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Error for a peer that closed its channels without poisoning first.
+    fn closed_channel_error(&self, from: usize) -> CommError {
+        match self.ctx.barrier.poison_state() {
+            Some(p) => self.poisoned_error(p, OpKind::Irecv),
+            None => CommError {
+                kind: CommErrorKind::Poisoned {
+                    origin: from,
+                    reason: format!("rank {from} closed its channels"),
+                },
+                rank: self.rank,
+                op: Some(OpKind::Irecv),
+                rank_states: self.snapshot_states(),
+            },
+        }
+    }
+
+    /// Raises (and poisons for) a receive watchdog expiry.
+    fn recv_timeout_error(&self, from: usize, op: OpKind) -> CommError {
+        let timeout = self.timeout.expect("deadline without timeout");
+        let states = self.snapshot_states();
+        self.ctx.barrier.poison(Poison {
+            rank: self.rank,
+            reason: format!("rank {} timed out after {timeout:?} in {op} from {from}", self.rank),
+        });
+        CommError {
+            kind: CommErrorKind::Timeout { timeout },
+            rank: self.rank,
+            op: Some(op),
+            rank_states: states,
+        }
     }
 
     /// Blocking receive from a specific source rank.
@@ -596,7 +781,7 @@ impl Comm {
         };
         // Receiver pays latency too (it idles for the message).
         let level = CommLevel::between(&self.placements[self.rank], &self.placements[from]);
-        self.ledger.add_comm(self.cost.p2p(level, payload.len()), 0);
+        self.ledger.add_comm_for(OpKind::Recv, self.cost.p2p(level, payload.len()), 0);
         self.end_op();
         Ok(payload)
     }
@@ -614,7 +799,7 @@ impl Comm {
         if self.size > 1 {
             self.sync(OpKind::Barrier)?;
         }
-        self.ledger.add_comm(self.cost.barrier(self.level, self.size), 0);
+        self.ledger.add_comm_for(OpKind::Barrier, self.cost.barrier(self.level, self.size), 0);
         self.end_op();
         Ok(())
     }
@@ -649,8 +834,11 @@ impl Comm {
             }
         }
         self.finish_collective(OP)?;
-        self.ledger
-            .add_comm(self.cost.allreduce(self.level, self.size, data.len()), (data.len() * 8) as u64);
+        self.ledger.add_comm_for(
+            OP,
+            self.cost.allreduce(self.level, self.size, data.len()),
+            (CostModel::allreduce_wire_words(self.size, data.len()) * 8) as u64,
+        );
         self.end_op();
         Ok(())
     }
@@ -685,8 +873,11 @@ impl Comm {
             }
         }
         self.finish_collective(OP)?;
-        self.ledger
-            .add_comm(self.cost.allreduce(self.level, self.size, data.len()), (data.len() * 8) as u64);
+        self.ledger.add_comm_for(
+            OP,
+            self.cost.allreduce(self.level, self.size, data.len()),
+            (CostModel::allreduce_wire_words(self.size, data.len()) * 8) as u64,
+        );
         self.end_op();
         Ok(())
     }
@@ -726,8 +917,11 @@ impl Comm {
         self.finish_collective(OP)?;
         // A rooted reduce (binomial tree, no redistribution) — not the
         // allreduce it was previously billed as.
-        self.ledger
-            .add_comm(self.cost.reduce(self.level, self.size, data.len()), (data.len() * 8) as u64);
+        self.ledger.add_comm_for(
+            OP,
+            self.cost.reduce(self.level, self.size, data.len()),
+            (data.len() * 8) as u64,
+        );
         self.end_op();
         Ok(result)
     }
@@ -754,8 +948,11 @@ impl Comm {
             *data = slots[root].as_ref().expect("root deposited nothing").clone();
         }
         self.finish_collective(OP)?;
-        self.ledger
-            .add_comm(self.cost.broadcast(self.level, self.size, data.len()), (data.len() * 8) as u64);
+        self.ledger.add_comm_for(
+            OP,
+            self.cost.broadcast(self.level, self.size, data.len()),
+            (data.len() * 8) as u64,
+        );
         self.end_op();
         Ok(())
     }
@@ -793,8 +990,11 @@ impl Comm {
         // contribution (each step forwards every rank's block, so one
         // MB-scale contributor among tiny ones sets the critical path) —
         // billing the average would model it as nearly free.
-        self.ledger
-            .add_comm(self.cost.allgather(self.level, self.size, max_words), (local.len() * 8) as u64);
+        self.ledger.add_comm_for(
+            OP,
+            self.cost.allgather(self.level, self.size, max_words),
+            (local.len() * 8) as u64,
+        );
         self.end_op();
         Ok(out)
     }
@@ -846,8 +1046,11 @@ impl Comm {
         }
         self.finish_collective(OP)?;
         // A rooted scatter — not the allgather it was previously billed as.
-        self.ledger
-            .add_comm(self.cost.scatter(self.level, self.size, mine.len()), (mine.len() * 8) as u64);
+        self.ledger.add_comm_for(
+            OP,
+            self.cost.scatter(self.level, self.size, mine.len()),
+            (mine.len() * 8) as u64,
+        );
         self.end_op();
         Ok(mine)
     }
@@ -902,8 +1105,11 @@ impl Comm {
             }
         }
         self.finish_collective(OP)?;
-        self.ledger
-            .add_comm(self.cost.allreduce(self.level, self.size, data.len()), (data.len() * 8) as u64);
+        self.ledger.add_comm_for(
+            OP,
+            self.cost.allreduce(self.level, self.size, data.len()),
+            (CostModel::allreduce_wire_words(self.size, data.len()) * 8) as u64,
+        );
         self.end_op();
         Ok(acc)
     }
@@ -935,10 +1141,83 @@ impl Comm {
         };
         self.finish_collective(OP)?;
         // A rooted gather — not the allgather it was previously billed as.
-        self.ledger
-            .add_comm(self.cost.gather(self.level, self.size, local.len()), (local.len() * 8) as u64);
+        self.ledger.add_comm_for(
+            OP,
+            self.cost.gather(self.level, self.size, local.len()),
+            (local.len() * 8) as u64,
+        );
         self.end_op();
         Ok(result)
+    }
+
+    /// Staged sparse all-to-all: rank `r` receives `outgoing[r]` from every
+    /// rank (possibly empty — empty payloads cost nothing on the wire).
+    /// Returns the received payloads indexed by source rank;
+    /// `result[self.rank]` is this rank's own chunk, delivered for free.
+    ///
+    /// This is the transport under the communication plan: stage 1 ships
+    /// produced `(slot, value)` segments to slot owners, stage 2 ships
+    /// reduced values to consumers — in both cases each rank pays for the
+    /// slots it actually touches, not for `p ×` the dense vector. Uses the
+    /// same deposit/sync/finish protocol as the dense collectives, so
+    /// poison, fault-plan kills, and the watchdog all apply unchanged.
+    pub fn try_sparse_exchange(
+        &mut self,
+        outgoing: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, CommError> {
+        const OP: OpKind = OpKind::SparseExchange;
+        assert_eq!(outgoing.len(), self.size, "sparse exchange needs one payload per rank");
+        self.begin_op(OP)?;
+        if self.size == 1 {
+            self.end_op();
+            return Ok(vec![outgoing[0].clone()]);
+        }
+        // Deposit the destination-major concatenation with a length header
+        // per destination (same framing as scatter).
+        let total: usize = outgoing.iter().map(|v| v.len()).sum();
+        let mut flat = Vec::with_capacity(self.size + total);
+        for chunk in outgoing {
+            flat.push(chunk.len() as f64);
+            flat.extend_from_slice(chunk);
+        }
+        self.deposit(flat);
+        self.sync(OP)?;
+        let mut incoming = Vec::with_capacity(self.size);
+        {
+            let slots = self.ctx.slots.lock();
+            for r in 0..self.size {
+                let row = slots[r].as_ref().expect("missing contribution");
+                let mut cursor = 0usize;
+                let mut mine = Vec::new();
+                for dest in 0..self.size {
+                    let len = row[cursor] as usize;
+                    cursor += 1;
+                    if dest == self.rank {
+                        mine = row[cursor..cursor + len].to_vec();
+                    }
+                    cursor += len;
+                }
+                incoming.push(mine);
+            }
+        }
+        self.finish_collective(OP)?;
+        // Bill this rank's outbound traffic: one message per non-empty
+        // foreign payload, bandwidth for every foreign word (the self-chunk
+        // never touches the wire).
+        let num_msgs =
+            outgoing.iter().enumerate().filter(|&(d, v)| d != self.rank && !v.is_empty()).count();
+        let wire_words: usize = outgoing
+            .iter()
+            .enumerate()
+            .filter_map(|(d, v)| (d != self.rank).then_some(v.len()))
+            .sum();
+        self.ledger.add_comm_for(
+            OP,
+            self.cost.sparse_exchange(self.level, self.size, num_msgs, wire_words),
+            (wire_words * 8) as u64,
+        );
+        self.end_op();
+        Ok(incoming)
     }
 
     fn deposit(&self, payload: Vec<f64>) {
@@ -1152,6 +1431,129 @@ mod tests {
         });
         for (i, r) in results.iter().enumerate() {
             assert_eq!(*r, ((i + p - 1) % p) as f64);
+        }
+    }
+
+    #[test]
+    fn sparse_exchange_routes_payloads_by_destination() {
+        let p = 4;
+        let (results, report) = cluster().run(p, 1, |c| {
+            // rank r sends [r*10 + d] to every other rank d, nothing to itself+1 mod p
+            let outgoing: Vec<Vec<f64>> = (0..p)
+                .map(|d| {
+                    if d == (c.rank() + 1) % p {
+                        Vec::new()
+                    } else {
+                        vec![(c.rank() * 10 + d) as f64]
+                    }
+                })
+                .collect();
+            c.unwrap_sparse(outgoing)
+        });
+        for (me, incoming) in results.iter().enumerate() {
+            assert_eq!(incoming.len(), p);
+            for (src, chunk) in incoming.iter().enumerate() {
+                if me == (src + 1) % p {
+                    assert!(chunk.is_empty(), "rank {me} from {src}");
+                } else {
+                    assert_eq!(chunk, &vec![(src * 10 + me) as f64], "rank {me} from {src}");
+                }
+            }
+        }
+        for l in &report.ledgers {
+            // 2 foreign non-empty payloads of 1 word each (3 foreign dests,
+            // one of them empty)
+            assert_eq!(l.bytes_for(OpKind::SparseExchange), 16);
+        }
+    }
+
+    #[test]
+    fn sparse_exchange_single_rank_is_identity() {
+        let (results, _) = cluster().run(1, 1, |c| c.unwrap_sparse(vec![vec![1.0, 2.0]]));
+        assert_eq!(results[0], vec![vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn isend_irecv_deliver_and_bill_overlap() {
+        let p = 3;
+        let (results, report) = cluster().run(p, 1, |c| {
+            let next = (c.rank() + 1) % p;
+            let prev = (c.rank() + p - 1) % p;
+            let h_recv = c.try_irecv(prev).unwrap();
+            let h_send = c.try_isend(next, vec![c.rank() as f64; 100]).unwrap();
+            assert_eq!(h_send.dest(), next);
+            assert_eq!(h_send.words(), 100);
+            let mut polls = 0u64;
+            let payload = loop {
+                if let Some(m) = c.try_poll_recv(&h_recv).unwrap() {
+                    break m;
+                }
+                polls += 1;
+                assert!(polls < 1_000_000, "poll never completed");
+            };
+            c.try_wait_send(h_send).unwrap();
+            payload[0]
+        });
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, ((i + p - 1) % p) as f64);
+        }
+        for l in &report.ledgers {
+            assert!(l.overlap_seconds > 0.0, "isend/poll must bill the overlap bucket");
+            assert_eq!(l.bytes_for(OpKind::Isend), 800);
+            assert_eq!(l.comm_seconds, 0.0, "no blocking comm in this program");
+        }
+    }
+
+    #[test]
+    fn wait_recv_blocks_until_message_arrives() {
+        let (results, _) = cluster().run(2, 1, |c| {
+            if c.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(10));
+                let h = c.try_isend(1, vec![7.0]).unwrap();
+                c.try_wait_send(h).unwrap();
+                0.0
+            } else {
+                let h = c.try_irecv(0).unwrap();
+                c.try_wait_recv(h).unwrap()[0]
+            }
+        });
+        assert_eq!(results[1], 7.0);
+    }
+
+    #[test]
+    fn dropped_isend_times_out_via_poll_deadline() {
+        let cluster = SimCluster::lonestar4(1)
+            .with_collective_timeout(Duration::from_millis(50))
+            .with_fault_plan(FaultPlan::new().drop_p2p(0, 1, 0));
+        let err = cluster
+            .try_run(2, 1, |c| {
+                if c.rank() == 0 {
+                    let h = c.try_isend(1, vec![1.0])?;
+                    c.try_wait_send(h)?;
+                    // keep rank 0 alive so only the drop (not a closed
+                    // channel) can fail rank 1
+                    std::thread::sleep(Duration::from_millis(100));
+                    Ok(0.0)
+                } else {
+                    let h = c.try_irecv(0)?;
+                    loop {
+                        if let Some(m) = c.try_poll_recv(&h)? {
+                            return Ok(m[0]);
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            })
+            .unwrap_err();
+        assert!(err.is_timeout(), "{err}");
+        assert_eq!(err.rank, 1);
+        assert_eq!(err.op, Some(OpKind::Irecv));
+    }
+
+    impl Comm {
+        /// Test shim: panicking sparse exchange.
+        fn unwrap_sparse(&mut self, outgoing: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+            unwrap_comm(self.try_sparse_exchange(&outgoing), OpKind::SparseExchange)
         }
     }
 

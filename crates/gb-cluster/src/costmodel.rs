@@ -223,6 +223,27 @@ impl CostModel {
             + self.collective_overhead * p as f64
     }
 
+    /// Staged sparse exchange across `p` ranks: this rank ships `num_msgs`
+    /// distinct payloads totalling `total_words` words. Costed as
+    /// `t_s · msgs + t_w · words` plus the per-rank collective overhead of
+    /// the staging barrier — the point of a communication *plan* is that
+    /// `total_words` scales with the slots actually touched, not with
+    /// `p × slots` like the dense allreduce.
+    pub fn sparse_exchange(
+        &self,
+        level: CommLevel,
+        p: usize,
+        num_msgs: usize,
+        total_words: usize,
+    ) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        self.ts(level) * num_msgs as f64
+            + self.tw(level) * total_words as f64
+            + self.collective_overhead * p as f64
+    }
+
     /// Converts accumulated work units into seconds, including the
     /// memory-pressure slowdown for a node working set of
     /// `node_working_set` bytes.
@@ -231,6 +252,21 @@ impl CostModel {
     }
 
     /// Worst communication level present among `placements`.
+    /// Wire words a single rank transmits in a recursive-doubling
+    /// reduce/allreduce of `words` words: `m · ⌈log₂ p⌉` — every rank
+    /// sends its full (partially reduced) vector in each of the
+    /// `⌈log₂ p⌉` exchange rounds, which is exactly the bandwidth term
+    /// [`CostModel::allreduce`] charges for time. The `comm_bytes`
+    /// ledger previously recorded the payload size `m` alone, which
+    /// undercounted the dense collective's traffic precisely where the
+    /// sparse-plan ops bill true per-destination wire bytes.
+    pub fn allreduce_wire_words(p: usize, words: usize) -> usize {
+        if p <= 1 {
+            return 0;
+        }
+        words * log2_ceil(p) as usize
+    }
+
     pub fn worst_level(placements: &[Placement]) -> CommLevel {
         let mut worst = CommLevel::SameSocket;
         for w in placements.windows(2) {
@@ -301,6 +337,19 @@ mod tests {
         assert!(m.scatter(l, 16, 1000) <= m.allgather(l, 16, 1000));
         // gather and scatter are mirror images
         assert_eq!(m.gather(l, 16, 1000), m.scatter(l, 16, 1000));
+    }
+
+    #[test]
+    fn sparse_exchange_scales_with_traffic_not_ranks() {
+        let m = CostModel::default();
+        let l = CommLevel::CrossNode;
+        assert_eq!(m.sparse_exchange(l, 1, 0, 0), 0.0);
+        // more payload costs more; more messages cost more latency
+        assert!(m.sparse_exchange(l, 8, 4, 100) < m.sparse_exchange(l, 8, 4, 100_000));
+        assert!(m.sparse_exchange(l, 8, 1, 100) < m.sparse_exchange(l, 8, 7, 100));
+        // a sparse exchange of a small fraction of the vector beats the
+        // dense allreduce of the whole thing
+        assert!(m.sparse_exchange(l, 8, 7, 5_000) < m.allreduce(l, 8, 100_000));
     }
 
     #[test]

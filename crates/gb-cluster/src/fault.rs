@@ -33,11 +33,21 @@ pub enum OpKind {
     ScanSum,
     Send,
     Recv,
+    /// Nonblocking send ([`Comm::try_isend`](crate::comm::Comm::try_isend));
+    /// its modeled cost lands in the overlap bucket, not blocking comm.
+    Isend,
+    /// Nonblocking receive post/poll
+    /// ([`Comm::try_irecv`](crate::comm::Comm::try_irecv)).
+    Irecv,
+    /// Staged sparse all-to-all
+    /// ([`Comm::try_sparse_exchange`](crate::comm::Comm::try_sparse_exchange)):
+    /// each rank ships an arbitrary (possibly empty) payload to every peer.
+    SparseExchange,
 }
 
 impl OpKind {
     /// Every collective kind (used by the failure-matrix tests).
-    pub const COLLECTIVES: [OpKind; 9] = [
+    pub const COLLECTIVES: [OpKind; 10] = [
         OpKind::Barrier,
         OpKind::AllreduceSum,
         OpKind::AllreduceMax,
@@ -47,7 +57,31 @@ impl OpKind {
         OpKind::Scatter,
         OpKind::Gather,
         OpKind::ScanSum,
+        OpKind::SparseExchange,
     ];
+
+    /// Total number of kinds; [`OpKind::index`] is always `< COUNT`.
+    pub const COUNT: usize = 14;
+
+    /// Dense index for per-op tables (byte ledgers and the like).
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::Barrier => 0,
+            OpKind::AllreduceSum => 1,
+            OpKind::AllreduceMax => 2,
+            OpKind::ReduceSum => 3,
+            OpKind::Broadcast => 4,
+            OpKind::Allgatherv => 5,
+            OpKind::Scatter => 6,
+            OpKind::Gather => 7,
+            OpKind::ScanSum => 8,
+            OpKind::Send => 9,
+            OpKind::Recv => 10,
+            OpKind::Isend => 11,
+            OpKind::Irecv => 12,
+            OpKind::SparseExchange => 13,
+        }
+    }
 }
 
 impl fmt::Display for OpKind {
@@ -64,6 +98,9 @@ impl fmt::Display for OpKind {
             OpKind::ScanSum => "scan_sum",
             OpKind::Send => "send",
             OpKind::Recv => "recv",
+            OpKind::Isend => "isend",
+            OpKind::Irecv => "irecv",
+            OpKind::SparseExchange => "sparse_exchange",
         };
         f.write_str(s)
     }
@@ -311,6 +348,34 @@ mod tests {
         assert_eq!(plan.p2p_action(0, 1, 1), P2pAction::Deliver);
         assert_eq!(plan.p2p_action(1, 0, 0), P2pAction::Delay(Duration::from_millis(1)));
         assert_eq!(plan.p2p_action(1, 1, 0), P2pAction::Deliver);
+    }
+
+    #[test]
+    fn op_indices_are_dense_and_unique() {
+        let all = [
+            OpKind::Barrier,
+            OpKind::AllreduceSum,
+            OpKind::AllreduceMax,
+            OpKind::ReduceSum,
+            OpKind::Broadcast,
+            OpKind::Allgatherv,
+            OpKind::Scatter,
+            OpKind::Gather,
+            OpKind::ScanSum,
+            OpKind::Send,
+            OpKind::Recv,
+            OpKind::Isend,
+            OpKind::Irecv,
+            OpKind::SparseExchange,
+        ];
+        assert_eq!(all.len(), OpKind::COUNT);
+        let mut seen = [false; OpKind::COUNT];
+        for op in all {
+            assert!(!seen[op.index()], "duplicate index for {op}");
+            seen[op.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(OpKind::SparseExchange.to_string(), "sparse_exchange");
     }
 
     #[test]

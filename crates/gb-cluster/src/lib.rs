@@ -40,7 +40,8 @@
 //!   OS thread per rank and hands each a [`Comm`] handle with
 //!   `send`/`recv`, `barrier`, `broadcast`, `reduce`, `allreduce`,
 //!   `gather`, `allgather(v)` — every collective the paper's 7-step
-//!   algorithm needs.
+//!   algorithm needs — plus nonblocking `isend`/`irecv` handles and a
+//!   staged `sparse_exchange` for communication-plan runners.
 //! * [`steal`] — an instrumented randomized work-stealing task pool, the
 //!   cilk++-style dynamic load balancer used *inside* each rank by the
 //!   hybrid runner (steal counts observable for tests and ablations).
@@ -60,7 +61,7 @@ pub mod steal;
 pub mod topology;
 
 pub use accounting::{RankLedger, RunReport};
-pub use comm::{Comm, SimCluster};
+pub use comm::{Comm, RecvHandle, SendHandle, SimCluster};
 pub use costmodel::{CommLevel, CostModel, MemoryModel};
 pub use fault::{CommError, CommErrorKind, FaultPlan, OpKind, P2pAction, RankOpState};
 pub use steal::StealPool;

@@ -17,6 +17,7 @@
 //! * the work-stealing pool's per-worker slots in the hybrid runner.
 
 use crate::bins::ChargeBins;
+use crate::commplan::CommPlan;
 use crate::integrals::IntegralAcc;
 use crate::interaction::{BornLists, EnergyLists, ListScratch};
 use gb_octree::NodeId;
@@ -111,6 +112,18 @@ pub struct Workspace {
     pub leaf_ranges: Vec<Range<usize>>,
     /// Per-chunk slots of the shared-memory runner.
     pub slots: Vec<Mutex<ChunkSlot>>,
+    /// Cached communication plan of the sparse distributed/hybrid paths
+    /// (produced/consumed slot sets, keyed on the list structure).
+    pub plan: CommPlan,
+    /// Owner-side reduction buffer of the sparse path (this rank's owned
+    /// slot interval).
+    pub owned_vals: Vec<f64>,
+    /// Per-producer staging buffer of the chunked sparse reduce.
+    pub reduce_buf: Vec<f64>,
+    /// Whether this workspace's rank already billed the replicated-memory
+    /// footprint — replication is a property of the resident arenas, so it
+    /// is charged once per workspace lifetime, not once per superstep.
+    pub replicated_billed: bool,
     /// Task count for the parallel list builds (the result is byte-identical
     /// for any value; `1` keeps the build on the calling thread and inside
     /// the zero-alloc contract).
@@ -136,6 +149,10 @@ impl Workspace {
             atom_ranges: Vec::new(),
             leaf_ranges: Vec::new(),
             slots: Vec::new(),
+            plan: CommPlan::new(),
+            owned_vals: Vec::new(),
+            reduce_buf: Vec::new(),
+            replicated_billed: false,
             build_tasks: 1,
         }
     }
@@ -173,6 +190,9 @@ impl Workspace {
                 * std::mem::size_of::<Range<usize>>()
             + self.slots.iter().map(|s| s.lock().memory_bytes()).sum::<usize>()
             + self.slots.capacity() * std::mem::size_of::<Mutex<ChunkSlot>>()
+            + self.plan.memory_bytes()
+            + (self.owned_vals.capacity() + self.reduce_buf.capacity())
+                * std::mem::size_of::<f64>()
     }
 }
 

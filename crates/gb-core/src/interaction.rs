@@ -296,9 +296,11 @@ impl BornLists {
     }
 
     /// Like [`BornLists::build`], split into `tasks` independent
-    /// driving-leaf-range walks run on `std::thread::scope` threads. The
-    /// result is **byte-identical** to the serial build for any task count
-    /// (see [`born_walk_range`]).
+    /// driving-leaf-range walks run as `rayon::scope` tasks — sized by the
+    /// installed rayon pool, so callers can pin the build to an explicit
+    /// thread count via `ThreadPoolBuilder::install`. The result is
+    /// **byte-identical** to the serial build for any task count or pool
+    /// size (see [`born_walk_range`]).
     pub fn build_tasks(sys: &GbSystem, tasks: usize) -> BornLists {
         let mut lists = BornLists::empty();
         let mut scratch = ListScratch::new();
@@ -336,10 +338,10 @@ impl BornLists {
         if ntasks == 1 {
             born_walk_range(sys, spans, threshold, coef, 0, nleaves, &mut segs[0]);
         } else {
-            std::thread::scope(|sc| {
+            rayon::scope(|sc| {
                 for (i, seg) in segs.iter_mut().enumerate() {
                     let (lo, hi) = bounds(i);
-                    sc.spawn(move || born_walk_range(sys, spans, threshold, coef, lo, hi, seg));
+                    sc.spawn(move |_| born_walk_range(sys, spans, threshold, coef, lo, hi, seg));
                 }
             });
         }
@@ -463,6 +465,30 @@ impl BornLists {
             work += self.leaf_work[ord];
         }
         work
+    }
+
+    /// Visits the flat-accumulator slot ranges that executing ordinal
+    /// `ord`'s lists writes: far terms land at node slot `a_id`, exact
+    /// near sums at `num_nodes + pos` for every atom position of the
+    /// entry's tree range (the flat layout of
+    /// [`IntegralAcc::to_flat_into`](crate::integrals::IntegralAcc::to_flat_into)).
+    /// This is the producer side of a communication plan's slot-set
+    /// derivation: the union over a rank's ordinals is exactly the set of
+    /// slots its integral phase can leave non-zero.
+    pub fn touched_flat_slots(
+        &self,
+        sys: &GbSystem,
+        ord: usize,
+        mut visit: impl FnMut(Range<usize>),
+    ) {
+        let num_nodes = sys.ta.num_nodes();
+        for &a_id in &self.far[self.far_off[ord]..self.far_off[ord + 1]] {
+            visit(a_id as usize..a_id as usize + 1);
+        }
+        for &a_id in &self.near[self.near_off[ord]..self.near_off[ord + 1]] {
+            let n = sys.ta.node(a_id);
+            visit(num_nodes + n.begin as usize..num_nodes + n.end as usize);
+        }
     }
 
     /// Heap footprint in bytes.
@@ -657,7 +683,8 @@ impl EnergyLists {
     }
 
     /// Like [`EnergyLists::build`], split into `tasks` independent
-    /// driving-leaf-range walks; byte-identical for any task count.
+    /// driving-leaf-range walks as `rayon::scope` tasks; byte-identical
+    /// for any task count or pool size.
     pub fn build_tasks(sys: &GbSystem, tasks: usize) -> EnergyLists {
         let mut lists = EnergyLists::empty();
         let mut scratch = ListScratch::new();
@@ -694,10 +721,10 @@ impl EnergyLists {
         if ntasks == 1 {
             energy_walk_range(sys, spans, mac, 0, nleaves, &mut segs[0]);
         } else {
-            std::thread::scope(|sc| {
+            rayon::scope(|sc| {
                 for (i, seg) in segs.iter_mut().enumerate() {
                     let (lo, hi) = bounds(i);
-                    sc.spawn(move || energy_walk_range(sys, spans, mac, lo, hi, seg));
+                    sc.spawn(move |_| energy_walk_range(sys, spans, mac, lo, hi, seg));
                 }
             });
         }

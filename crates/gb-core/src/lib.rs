@@ -45,6 +45,7 @@
 
 pub mod balance;
 pub mod bins;
+pub mod commplan;
 pub mod energy;
 pub mod error;
 pub mod fastmath;
@@ -60,6 +61,7 @@ pub mod simd;
 pub mod system;
 pub mod workdiv;
 
+pub use commplan::{CommMode, CommPlan};
 pub use error::{percent_error, ErrorStats, GbError};
 pub use interaction::{BornLists, EnergyLists};
 pub use gbmath::COULOMB_KCAL;

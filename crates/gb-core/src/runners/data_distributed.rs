@@ -30,11 +30,13 @@
 //! the `data_distribution` study measure exactly that.
 
 use crate::bins::ChargeBins;
+use crate::commplan::{CommMode, CommPlan};
 use crate::error::GbError;
 use crate::fastmath::{ApproxMath, ExactMath, MathMode};
 use crate::gbmath::{finalize_energy, inv_f_gb, RadiiApprox, R4, R6};
 use crate::integrals::{well_separated, IntegralAcc, TRAVERSAL_UNIT};
 use crate::params::{MathKind, RadiiKind};
+use crate::runners::sparse::{publish_to_consumers, reduce_pairs_to_owners};
 use crate::runners::with_kernels;
 use crate::system::{GbResult, GbSystem};
 use crate::workdiv::leaf_segments;
@@ -68,8 +70,24 @@ pub fn try_run_data_distributed(
     cluster: &SimCluster,
     ranks: usize,
 ) -> Result<(GbResult, RunReport), GbError> {
+    try_run_data_distributed_mode(sys, cluster, ranks, CommMode::default())
+}
+
+/// [`try_run_data_distributed`] with an explicit integral-combine mode:
+/// the sparse path ships `(slot, value)` pairs of the accumulator's
+/// non-zero slots to per-slot owners (traversal-produced slots are not
+/// statically derivable here), then a targeted exchange delivers each
+/// rank exactly its push traversal's read set. The sparse stages use the
+/// staged collective blackboard, not the point-to-point channels, so halo
+/// message indices — and any fault plan addressing them — are unchanged.
+pub fn try_run_data_distributed_mode(
+    sys: &GbSystem,
+    cluster: &SimCluster,
+    ranks: usize,
+    mode: CommMode,
+) -> Result<(GbResult, RunReport), GbError> {
     let (mut results, report) = cluster.try_run(ranks, 1, |comm| {
-        with_kernels!(sys.params, M, K => rank_body::<M, K>(sys, comm))
+        with_kernels!(sys.params, M, K => rank_body::<M, K>(sys, comm, mode))
     })?;
     Ok((results.swap_remove(0), report))
 }
@@ -223,6 +241,7 @@ fn halo_exchange(
 fn rank_body<M: MathMode, K: RadiiApprox>(
     sys: &GbSystem,
     comm: &mut Comm,
+    mode: CommMode,
 ) -> Result<GbResult, CommError> {
     let rank = comm.rank();
     let ranks = comm.size();
@@ -331,12 +350,35 @@ fn rank_body<M: MathMode, K: RadiiApprox>(
     }
     comm.record_work(work);
 
-    // ---- Combine partial integrals (unavoidably O(nodes + M), as in the
-    // replicated algorithm — the memory win is in the payloads).
-    let mut flat = acc.to_flat();
-    comm.try_allreduce_sum(&mut flat)?;
-    let acc = IntegralAcc::from_flat(&flat, sys.ta.num_nodes());
-    drop(flat);
+    // ---- Combine partial integrals. Dense: the O(nodes + M) allreduce of
+    // the replicated algorithm. Sparse (default): pair-protocol reduce to
+    // per-slot owners, then a targeted exchange of exactly each rank's
+    // push-traversal read set (the node slots intersecting its owned atom
+    // range, plus its own atom slots) — bit-identical, same ascending-rank
+    // summation order.
+    if ranks > 1 {
+        match mode {
+            CommMode::Dense => {
+                let mut flat = acc.to_flat();
+                comm.try_allreduce_sum(&mut flat)?;
+                acc = IntegralAcc::from_flat(&flat, sys.ta.num_nodes());
+            }
+            CommMode::Sparse => {
+                let mut plan = CommPlan::new();
+                plan.ensure_consumers(sys, &ownership.a_ranges);
+                let mut owned_vals = Vec::new();
+                reduce_pairs_to_owners(
+                    comm,
+                    plan.num_slots,
+                    plan.num_nodes,
+                    &acc,
+                    &mut owned_vals,
+                )?;
+                publish_to_consumers(comm, &plan, &owned_vals, &mut acc)?;
+            }
+        }
+    }
+    let acc = acc;
 
     // ---- Push integrals to own atoms only: radii stay distributed.
     let mut my_radii = vec![0.0; shard.a_range.len()];

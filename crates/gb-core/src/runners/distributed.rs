@@ -8,23 +8,33 @@
 //!    (node-based division, executed from the replicated interaction lists
 //!    with rank boundaries balanced by measured list work) or atoms
 //!    (atom-based, traversal with range clipping);
-//! 3. `MPI_Allreduce` of the partial integral vector;
+//! 3. combine the partial integral vectors — either the paper's dense
+//!    `MPI_Allreduce`, or (the default) the plan-driven sparse
+//!    reduce-scatter + targeted allgatherv of
+//!    [`commplan`](crate::commplan), which for node-based division also
+//!    pipelines the integral execution in chunks and posts nonblocking
+//!    sends for finished chunks while the next one computes. Both modes
+//!    produce bit-identical integrals (same ascending-rank summation
+//!    order);
 //! 4. `PUSH-INTEGRALS-TO-ATOMS` for this rank's atom segment;
-//! 5. allgather of the Born radii;
+//! 5. allgather of the Born radii (dense on purpose: the energy phase's
+//!    bin recomputation reads the full radii vector on every rank);
 //! 6. `APPROX-EPOL` for this rank's segment of `T_A` leaves;
 //! 7. reduce of the partial energies to the master.
 
 use crate::arena::Workspace;
+use crate::commplan::{manifest_range, owner_interval, CommMode};
 use crate::energy::energy_for_leaves;
 use crate::error::GbError;
 use crate::fastmath::{ApproxMath, ExactMath, MathMode};
 use crate::gbmath::{finalize_energy, RadiiApprox, R4, R6};
 use crate::integrals::{push_integrals_scratch, IntegralAcc};
 use crate::params::{MathKind, RadiiKind};
+use crate::runners::sparse::{flat_get, publish_to_consumers, reduce_pairs_to_owners, OVERLAP_CHUNKS};
 use crate::runners::{bin_build_work, with_kernels};
 use crate::system::{GbResult, GbSystem};
 use crate::workdiv::{even_ranges_into, work_balanced_segments_into, WorkDivision};
-use gb_cluster::{Comm, CommError, RunReport, SimCluster};
+use gb_cluster::{Comm, CommError, RunReport, SendHandle, SimCluster};
 use parking_lot::Mutex;
 
 /// Runs the 7-step distributed algorithm on `ranks` single-threaded ranks.
@@ -54,9 +64,23 @@ pub fn try_run_distributed(
     ranks: usize,
     division: WorkDivision,
 ) -> Result<(GbResult, RunReport), GbError> {
+    try_run_distributed_mode(sys, cluster, ranks, division, CommMode::default())
+}
+
+/// [`try_run_distributed`] with an explicit integral-combine mode:
+/// [`CommMode::Dense`] forces the paper's full allreduce (the baseline the
+/// equivalence tests and the bench's `comm_bytes_dense` column measure),
+/// [`CommMode::Sparse`] — the default — runs the communication plan.
+pub fn try_run_distributed_mode(
+    sys: &GbSystem,
+    cluster: &SimCluster,
+    ranks: usize,
+    division: WorkDivision,
+    mode: CommMode,
+) -> Result<(GbResult, RunReport), GbError> {
     let workspaces: Vec<Mutex<Workspace>> =
         (0..ranks).map(|_| Mutex::new(Workspace::new())).collect();
-    try_run_distributed_ws(sys, cluster, ranks, division, &workspaces)
+    try_run_distributed_ws_mode(sys, cluster, ranks, division, mode, &workspaces)
 }
 
 /// [`try_run_distributed`] over caller-owned per-rank [`Workspace`]s
@@ -71,10 +95,26 @@ pub fn try_run_distributed_ws(
     division: WorkDivision,
     workspaces: &[Mutex<Workspace>],
 ) -> Result<(GbResult, RunReport), GbError> {
+    try_run_distributed_ws_mode(sys, cluster, ranks, division, CommMode::default(), workspaces)
+}
+
+/// [`try_run_distributed_ws`] with an explicit [`CommMode`]. On the
+/// sparse path the workspace also caches the [`CommPlan`]
+/// (`ws.plan`), so steady-state supersteps skip the slot-set derivation.
+///
+/// [`CommPlan`]: crate::commplan::CommPlan
+pub fn try_run_distributed_ws_mode(
+    sys: &GbSystem,
+    cluster: &SimCluster,
+    ranks: usize,
+    division: WorkDivision,
+    mode: CommMode,
+    workspaces: &[Mutex<Workspace>],
+) -> Result<(GbResult, RunReport), GbError> {
     assert!(workspaces.len() >= ranks, "need one workspace per rank");
     let (mut results, report) = cluster.try_run(ranks, 1, |comm| {
         let mut ws = workspaces[comm.rank()].lock();
-        rank_body_dispatch(sys, comm, division, &mut ws)
+        rank_body_dispatch(sys, comm, division, mode, &mut ws)
     })?;
     Ok((results.swap_remove(0), report))
 }
@@ -83,9 +123,10 @@ fn rank_body_dispatch(
     sys: &GbSystem,
     comm: &mut Comm,
     division: WorkDivision,
+    mode: CommMode,
     ws: &mut Workspace,
 ) -> Result<GbResult, CommError> {
-    with_kernels!(sys.params, M, K => rank_body::<M, K>(sys, comm, division, ws))
+    with_kernels!(sys.params, M, K => rank_body::<M, K>(sys, comm, division, mode, ws))
 }
 
 /// The rank program, generic over the math mode; also reused by the hybrid
@@ -94,16 +135,23 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
     sys: &GbSystem,
     comm: &mut Comm,
     division: WorkDivision,
+    mode: CommMode,
     ws: &mut Workspace,
 ) -> Result<GbResult, CommError> {
     let rank = comm.rank();
     let p = comm.size();
 
     // Step 1: replicated data (shared read-only here; a real MPI process
-    // would hold its own copy — the accounting reflects that).
-    comm.record_replicated(sys.memory_bytes() as u64);
+    // would hold its own copy — the accounting reflects that). Replication
+    // is a property of the resident arenas, so a reused workspace bills it
+    // once per lifetime, not once per superstep.
+    if !ws.replicated_billed {
+        comm.record_replicated(sys.memory_bytes() as u64);
+        ws.replicated_billed = true;
+    }
 
-    // Step 2: partial integrals for this rank's share.
+    // Steps 2–3: partial integrals for this rank's share, combined either
+    // densely (full allreduce) or through the communication plan.
     ws.acc.reset_for(sys);
     even_ranges_into(sys.num_atoms(), p, &mut ws.atom_ranges);
     let mut work = 0.0;
@@ -115,7 +163,98 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
             ws.born.rebuild(sys, ws.build_tasks, &mut ws.born_scratch);
             work += ws.born.build_work;
             work_balanced_segments_into(ws.born.leaf_work(), p, &mut ws.seg_ranges);
-            work += ws.born.execute_range::<M, K>(sys, ws.seg_ranges[rank].clone(), &mut ws.acc);
+            let seg = ws.seg_ranges[rank].clone();
+            if p > 1 && mode == CommMode::Sparse {
+                // Overlap pipeline: execute the segment in chunks; a slot's
+                // value is final once its *last*-writing chunk (the plan's
+                // `chunk_of` label) completes, so each chunk's finalized
+                // manifest values ship as nonblocking sends while the next
+                // chunk computes.
+                ws.plan.ensure_node_node(
+                    sys,
+                    &ws.born,
+                    &ws.seg_ranges,
+                    &ws.atom_ranges,
+                    OVERLAP_CHUNKS,
+                );
+                let chunks = ws.plan.chunks;
+                let mut handles: Vec<SendHandle> = Vec::new();
+                for k in 0..chunks {
+                    let sub = owner_interval(seg.len(), chunks, k);
+                    work += ws.born.execute_range::<M, K>(
+                        sys,
+                        seg.start + sub.start..seg.start + sub.end,
+                        &mut ws.acc,
+                    );
+                    let produced_me = ws.plan.produced(rank);
+                    let chunk_of = ws.plan.chunk_of(rank);
+                    for o in 0..p {
+                        if o == rank {
+                            continue;
+                        }
+                        let m = manifest_range(produced_me, &ws.plan.owned(o));
+                        if m.is_empty() {
+                            continue;
+                        }
+                        let payload: Vec<f64> = m
+                            .filter(|&i| chunk_of[i] as usize == k)
+                            .map(|i| flat_get(&ws.acc, ws.plan.num_nodes, produced_me[i] as usize))
+                            .collect();
+                        handles.push(comm.try_isend(o, payload)?);
+                    }
+                }
+                // Owner-side reduce: ascending rank order from +0.0 — the
+                // dense allreduce's exact summation order, so the owned
+                // values are bit-identical to the dense path's.
+                let interval = ws.plan.owned(rank);
+                ws.owned_vals.clear();
+                ws.owned_vals.resize(interval.len(), 0.0);
+                for r in 0..p {
+                    let m = manifest_range(ws.plan.produced(r), &interval);
+                    if m.is_empty() {
+                        continue;
+                    }
+                    if r == rank {
+                        for &s in &ws.plan.produced(r)[m] {
+                            ws.owned_vals[s as usize - interval.start] +=
+                                flat_get(&ws.acc, ws.plan.num_nodes, s as usize);
+                        }
+                    } else {
+                        // per-pair channels are FIFO, so the producer's k-th
+                        // message is its chunk-k manifest segment
+                        let slots = &ws.plan.produced(r)[m.clone()];
+                        let chunk_of = &ws.plan.chunk_of(r)[m];
+                        ws.reduce_buf.clear();
+                        ws.reduce_buf.resize(slots.len(), 0.0);
+                        for k in 0..chunks {
+                            let handle = comm.try_irecv(r)?;
+                            let msg = comm.try_wait_recv(handle)?;
+                            let mut cursor = 0usize;
+                            for (j, &ck) in chunk_of.iter().enumerate() {
+                                if ck as usize == k {
+                                    ws.reduce_buf[j] = msg[cursor];
+                                    cursor += 1;
+                                }
+                            }
+                            debug_assert_eq!(cursor, msg.len());
+                        }
+                        for (j, &s) in slots.iter().enumerate() {
+                            ws.owned_vals[s as usize - interval.start] += ws.reduce_buf[j];
+                        }
+                    }
+                }
+                for handle in handles {
+                    comm.try_wait_send(handle)?;
+                }
+                publish_to_consumers(comm, &ws.plan, &ws.owned_vals, &mut ws.acc)?;
+            } else {
+                work += ws.born.execute_range::<M, K>(sys, seg, &mut ws.acc);
+                if p > 1 {
+                    ws.acc.to_flat_into(&mut ws.flat);
+                    comm.try_allreduce_sum(&mut ws.flat)?;
+                    ws.acc.copy_from_flat(&ws.flat);
+                }
+            }
         }
         WorkDivision::AtomNode => {
             // Atom-based division: every rank processes *all* T_Q leaves but
@@ -134,14 +273,32 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
                     &mut ws.node_stack,
                 );
             }
+            if p > 1 {
+                match mode {
+                    CommMode::Dense => {
+                        ws.acc.to_flat_into(&mut ws.flat);
+                        comm.try_allreduce_sum(&mut ws.flat)?;
+                        ws.acc.copy_from_flat(&ws.flat);
+                    }
+                    CommMode::Sparse => {
+                        // clipped-traversal producer sets are not statically
+                        // derivable from the lists, so stage 1 ships
+                        // (slot, value) pairs found by a non-zero-bits scan
+                        ws.plan.ensure_consumers(sys, &ws.atom_ranges);
+                        reduce_pairs_to_owners(
+                            comm,
+                            ws.plan.num_slots,
+                            ws.plan.num_nodes,
+                            &ws.acc,
+                            &mut ws.owned_vals,
+                        )?;
+                        publish_to_consumers(comm, &ws.plan, &ws.owned_vals, &mut ws.acc)?;
+                    }
+                }
+            }
         }
     }
     comm.record_work(work);
-
-    // Step 3: combine partial integrals.
-    ws.acc.to_flat_into(&mut ws.flat);
-    comm.try_allreduce_sum(&mut ws.flat)?;
-    ws.acc.copy_from_flat(&ws.flat);
 
     // Step 4: Born radii for this rank's atom segment, written into a
     // buffer sized for the segment alone (no full-length scratch).

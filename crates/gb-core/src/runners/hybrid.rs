@@ -9,11 +9,13 @@
 //! therefore the final energy — is identical to the distributed runner's.
 
 use crate::arena::Workspace;
+use crate::commplan::CommMode;
 use crate::error::GbError;
 use crate::fastmath::{ApproxMath, ExactMath, MathMode};
 use crate::gbmath::{finalize_energy, RadiiApprox, R4, R6};
 use crate::integrals::{push_integrals_scratch, IntegralAcc};
 use crate::params::{MathKind, RadiiKind};
+use crate::runners::sparse::{publish_to_consumers, reduce_to_owners_single};
 use crate::runners::{bin_build_work, with_kernels};
 use crate::system::{GbResult, GbSystem};
 use crate::workdiv::{even_ranges_into, work_balanced_segments_into, WorkDivision};
@@ -47,9 +49,25 @@ pub fn try_run_hybrid(
     threads_per_rank: usize,
     division: WorkDivision,
 ) -> Result<(GbResult, RunReport), GbError> {
+    try_run_hybrid_mode(sys, cluster, ranks, threads_per_rank, division, CommMode::default())
+}
+
+/// [`try_run_hybrid`] with an explicit integral-combine mode (see
+/// [`CommMode`]). The hybrid runner uses the single-shot sparse path —
+/// two staged exchanges, no send pipeline — because its integral chunks
+/// already interleave nondeterministically across the steal pool's
+/// workers.
+pub fn try_run_hybrid_mode(
+    sys: &GbSystem,
+    cluster: &SimCluster,
+    ranks: usize,
+    threads_per_rank: usize,
+    division: WorkDivision,
+    mode: CommMode,
+) -> Result<(GbResult, RunReport), GbError> {
     let workspaces: Vec<Mutex<Workspace>> =
         (0..ranks).map(|_| Mutex::new(Workspace::with_build_tasks(threads_per_rank))).collect();
-    try_run_hybrid_ws(sys, cluster, ranks, threads_per_rank, division, &workspaces)
+    try_run_hybrid_ws_mode(sys, cluster, ranks, threads_per_rank, division, mode, &workspaces)
 }
 
 /// [`try_run_hybrid`] over caller-owned per-rank [`Workspace`]s: each rank
@@ -64,11 +82,33 @@ pub fn try_run_hybrid_ws(
     division: WorkDivision,
     workspaces: &[Mutex<Workspace>],
 ) -> Result<(GbResult, RunReport), GbError> {
+    try_run_hybrid_ws_mode(
+        sys,
+        cluster,
+        ranks,
+        threads_per_rank,
+        division,
+        CommMode::default(),
+        workspaces,
+    )
+}
+
+/// [`try_run_hybrid_ws`] with an explicit [`CommMode`].
+pub fn try_run_hybrid_ws_mode(
+    sys: &GbSystem,
+    cluster: &SimCluster,
+    ranks: usize,
+    threads_per_rank: usize,
+    division: WorkDivision,
+    mode: CommMode,
+    workspaces: &[Mutex<Workspace>],
+) -> Result<(GbResult, RunReport), GbError> {
     assert!(threads_per_rank >= 1);
     assert!(workspaces.len() >= ranks, "need one workspace per rank");
     let (mut results, report) = cluster.try_run(ranks, threads_per_rank, |comm| {
         let mut ws = workspaces[comm.rank()].lock();
-        with_kernels!(sys.params, M, K => hybrid_rank_body::<M, K>(sys, comm, division, &mut ws))
+        with_kernels!(sys.params, M, K =>
+            hybrid_rank_body::<M, K>(sys, comm, division, mode, &mut ws))
     })?;
     Ok((results.swap_remove(0), report))
 }
@@ -77,6 +117,7 @@ fn hybrid_rank_body<M: MathMode, K: RadiiApprox>(
     sys: &GbSystem,
     comm: &mut Comm,
     division: WorkDivision,
+    mode: CommMode,
     ws: &mut Workspace,
 ) -> Result<GbResult, CommError> {
     let rank = comm.rank();
@@ -85,7 +126,12 @@ fn hybrid_rank_body<M: MathMode, K: RadiiApprox>(
     let pool = StealPool::new(threads);
     let steal_seed = 0xC11F_u64 ^ (rank as u64) << 8;
 
-    comm.record_replicated(sys.memory_bytes() as u64);
+    // Replication is a property of the resident arenas: a reused workspace
+    // bills it once per lifetime, not once per superstep.
+    if !ws.replicated_billed {
+        comm.record_replicated(sys.memory_bytes() as u64);
+        ws.replicated_billed = true;
+    }
 
     // ---- Step 2: integrals over this rank's driving-leaf segment, one
     // task per leaf ordinal, per-worker accumulators merged in worker
@@ -120,15 +166,29 @@ fn hybrid_rank_body<M: MathMode, K: RadiiApprox>(
     drop(worker_accs);
     comm.record_work(work);
 
-    // ---- Step 3: allreduce.
-    ws.acc.to_flat_into(&mut ws.flat);
-    comm.try_allreduce_sum(&mut ws.flat)?;
-    ws.acc.copy_from_flat(&ws.flat);
+    // ---- Step 3: combine partial integrals — dense allreduce, or the
+    // communication plan's two staged sparse exchanges (single-shot: the
+    // steal pool's nondeterministic task order rules out the distributed
+    // runner's chunk/send pipeline, but the manifests are identical).
+    even_ranges_into(sys.num_atoms(), p, &mut ws.atom_ranges);
+    if p > 1 {
+        match mode {
+            CommMode::Dense => {
+                ws.acc.to_flat_into(&mut ws.flat);
+                comm.try_allreduce_sum(&mut ws.flat)?;
+                ws.acc.copy_from_flat(&ws.flat);
+            }
+            CommMode::Sparse => {
+                ws.plan.ensure_node_node(sys, &ws.born, &ws.seg_ranges, &ws.atom_ranges, 1);
+                reduce_to_owners_single(comm, &ws.plan, &ws.acc, &mut ws.owned_vals)?;
+                publish_to_consumers(comm, &ws.plan, &ws.owned_vals, &mut ws.acc)?;
+            }
+        }
+    }
 
     // ---- Step 4: push for this rank's atom segment, split across
     // threads, each thread writing into a buffer sized for its own
     // sub-range (no full-length scratch per worker).
-    even_ranges_into(sys.num_atoms(), p, &mut ws.atom_ranges);
     let my_atoms = ws.atom_ranges[rank].clone();
     even_ranges_into(my_atoms.len(), threads, &mut ws.leaf_ranges);
     let sub = &ws.leaf_ranges;

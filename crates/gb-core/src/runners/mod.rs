@@ -5,10 +5,15 @@ pub mod distributed;
 pub mod hybrid;
 pub mod serial;
 pub mod shared;
+pub(crate) mod sparse;
 
-pub use data_distributed::{run_data_distributed, try_run_data_distributed};
-pub use distributed::{run_distributed, try_run_distributed};
-pub use hybrid::{run_hybrid, try_run_hybrid};
+pub use data_distributed::{
+    run_data_distributed, try_run_data_distributed, try_run_data_distributed_mode,
+};
+pub use distributed::{
+    run_distributed, try_run_distributed, try_run_distributed_mode, try_run_distributed_ws_mode,
+};
+pub use hybrid::{run_hybrid, try_run_hybrid, try_run_hybrid_mode, try_run_hybrid_ws_mode};
 pub use serial::run_serial;
 pub use shared::run_shared;
 

@@ -23,6 +23,7 @@
 //!   `simd_energy_rel_err` bounds the `VectorMath`-vs-`ExactMath` energy
 //!   deviation on identical radii and bins.
 
+use gb_polarize::cluster::OpKind;
 use gb_polarize::core::bins::ChargeBins;
 use gb_polarize::core::energy::energy_for_leaves;
 use gb_polarize::core::fastmath::{ExactMath, VectorMath};
@@ -95,15 +96,70 @@ fn scalar_exec_times_via_child(n_atoms: usize) -> (f64, f64) {
     parsed.unwrap_or((f64::NAN, f64::NAN))
 }
 
+/// Communication-plan columns: integral-phase traffic of the distributed
+/// runner at P=8, dense allreduce vs the sparse two-stage plan, plus the
+/// wall time of the chunk-pipelined sparse run (isends posted for finished
+/// chunks while the next chunk computes). The dense column is the flat
+/// allreduce's wire bytes; the sparse column is the plan's nonblocking
+/// sends plus both staged exchanges plus the scalar energy allreduce that
+/// rides along, so the ratio is conservative.
+fn comm_columns(sys: &GbSystem, reps: usize) -> (u64, u64, f64) {
+    let ranks = 8usize;
+    let cluster = SimCluster::single_node();
+    let run = |mode: CommMode| {
+        try_run_distributed_mode(sys, &cluster, ranks, WorkDivision::NodeNode, mode)
+            .expect("distributed run")
+    };
+    let (_, dense_report) = run(CommMode::Dense);
+    let (_, sparse_report) = run(CommMode::Sparse);
+    let dense = dense_report.bytes_for_op(OpKind::AllreduceSum);
+    let sparse = sparse_report.bytes_for_op(OpKind::Isend)
+        + sparse_report.bytes_for_op(OpKind::SparseExchange)
+        + sparse_report.bytes_for_op(OpKind::AllreduceSum);
+    let (overlap_exec_ms, _) = timed(reps, || {
+        let (res, _) = run(CommMode::Sparse);
+        std::hint::black_box(res.energy_kcal)
+    });
+    (dense, sparse, overlap_exec_ms)
+}
+
 fn main() {
     let n_atoms: usize =
         std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
     let reps = 3usize;
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // `GB_BUILD_THREADS` pins the list-build worker count (default: the
+    // machine); the parallel-build timings run inside an explicitly sized
+    // rayon pool so the column measures the requested width, not whatever
+    // global pool happened to exist first.
+    let threads = std::env::var("GB_BUILD_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("rayon pool");
     let build_tasks = threads.max(4);
     let mol = synthesize_protein(&SyntheticParams::with_atoms(n_atoms, 4242));
     let sys = GbSystem::prepare(mol, GbParams::default());
     let child_mode = std::env::var("GB_BENCH_EXEC_CHILD").is_ok();
+
+    // `GB_BENCH_COMM_ONLY=1`: emit just the communication-plan columns
+    // (single rep) — the perf-smoke gate runs this at the 20k-atom size
+    // without paying for the traversal/SIMD matrix.
+    if std::env::var("GB_BENCH_COMM_ONLY").is_ok() {
+        let (dense, sparse, overlap_ms) = comm_columns(&sys, 1);
+        println!("{{");
+        println!("  \"n_atoms\": {},", sys.num_atoms());
+        println!("  \"ranks\": 8,");
+        println!("  \"comm_bytes_dense\": {dense},");
+        println!("  \"comm_bytes_sparse\": {sparse},");
+        println!("  \"comm_sparse_over_dense\": {:.3},", sparse as f64 / dense as f64);
+        println!("  \"overlap_exec_ms\": {overlap_ms:.3}");
+        println!("}}");
+        return;
+    }
 
     let born = BornLists::build(&sys);
 
@@ -137,7 +193,8 @@ fn main() {
 
     // ... vs one list build + batched execution
     let (build_ms, build_work) = timed(reps, || BornLists::build(&sys).build_work);
-    let (pbuild_ms, _) = timed(reps, || BornLists::build_tasks(&sys, build_tasks).build_work);
+    let (pbuild_ms, _) =
+        pool.install(|| timed(reps, || BornLists::build_tasks(&sys, build_tasks).build_work));
     let (exec_ms, exec_work) = timed(reps, || {
         let mut acc = IntegralAcc::zeros(&sys);
         let work = born.execute_range::<ExactMath, R6>(&sys, 0..born.num_qleaves(), &mut acc);
@@ -152,7 +209,8 @@ fn main() {
         work
     });
     let (ebuild_ms, ebuild_work) = timed(reps, || EnergyLists::build(&sys).build_work);
-    let (epbuild_ms, _) = timed(reps, || EnergyLists::build_tasks(&sys, build_tasks).build_work);
+    let (epbuild_ms, _) =
+        pool.install(|| timed(reps, || EnergyLists::build_tasks(&sys, build_tasks).build_work));
     let (eexec_ms, eexec_work) = timed(reps, || {
         let (raw, work) =
             energy.execute_leaves::<ExactMath>(&sys, &bins, &radii, 0..energy.num_vleaves());
@@ -173,6 +231,8 @@ fn main() {
     let raw_simd =
         energy.execute_leaves::<VectorMath>(&sys, &bins, &radii, 0..energy.num_vleaves()).0;
     let rel_err = ((raw_simd - raw_exact) / raw_exact).abs();
+
+    let (comm_bytes_dense, comm_bytes_sparse, overlap_exec_ms) = comm_columns(&sys, reps);
 
     let born_speedup = trav_ms / exec_ms;
     let energy_speedup = etrav_ms / eexec_ms;
@@ -212,6 +272,16 @@ fn main() {
     println!("    \"simd_exec_ms\": {esimd_exec_ms:.3},");
     println!("    \"simd_exec_speedup\": {:.3},", escalar_exec_ms / esimd_exec_ms);
     println!("    \"exec_speedup_vs_traversal\": {energy_speedup:.3}");
+    println!("  }},");
+    println!("  \"comm\": {{");
+    println!("    \"ranks\": 8,");
+    println!("    \"comm_bytes_dense\": {comm_bytes_dense},");
+    println!("    \"comm_bytes_sparse\": {comm_bytes_sparse},");
+    println!(
+        "    \"comm_sparse_over_dense\": {:.3},",
+        comm_bytes_sparse as f64 / comm_bytes_dense as f64
+    );
+    println!("    \"overlap_exec_ms\": {overlap_exec_ms:.3}");
     println!("  }}");
     println!("}}");
 }

@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
 # Perf smoke gate: fails when the interaction-list *build* phase regresses
-# more than the allowed factor against scripts/perf_baseline.json.
+# more than the allowed factor against scripts/perf_baseline.json, or when
+# the sparse communication plan stops beating the dense allreduce.
 #
-# The gated quantity is the ratio list_build_ms / traversal_ms per phase,
+# The build gate is the ratio list_build_ms / traversal_ms per phase,
 # measured by examples/bench_interaction on a small system: numerator and
 # denominator come from the same process on the same machine, so the gate
 # tracks algorithmic regressions (a slower walk, lost batching) rather
 # than runner hardware. Each run's ratio is already best-of-reps; the
 # gate takes the minimum over several runs to damp scheduler noise.
+#
+# The comm gate runs the bench in GB_BENCH_COMM_ONLY mode at comm_n_atoms
+# (the 20k-atom smoke size) and checks comm_bytes_sparse/comm_bytes_dense
+# against both the hard cap comm_max_sparse_over_dense (the ≥40%-reduction
+# acceptance bar) and the recorded baseline with the same 25% headroom
+# factor as the build gate. Cost-model byte counts are deterministic, so
+# one run suffices.
 #
 #   scripts/perf_smoke.sh            # check against the baseline
 #   scripts/perf_smoke.sh --update   # rewrite the baseline from this host
@@ -17,6 +25,7 @@ cd "$(dirname "$0")/.."
 BASELINE=scripts/perf_baseline.json
 N_ATOMS=$(python3 -c "import json; print(json.load(open('$BASELINE'))['n_atoms'])")
 RUNS=$(python3 -c "import json; print(json.load(open('$BASELINE'))['runs'])")
+COMM_N_ATOMS=$(python3 -c "import json; print(json.load(open('$BASELINE'))['comm_n_atoms'])")
 
 cargo build --release --example bench_interaction
 
@@ -25,6 +34,7 @@ trap 'rm -rf "$OUT"' EXIT
 for i in $(seq "$RUNS"); do
     ./target/release/examples/bench_interaction "$N_ATOMS" > "$OUT/run$i.json"
 done
+GB_BENCH_COMM_ONLY=1 ./target/release/examples/bench_interaction "$COMM_N_ATOMS" > "$OUT/comm.json"
 
 python3 - "$BASELINE" "$OUT" "${1:-}" <<'EOF'
 import glob, json, sys
@@ -39,6 +49,9 @@ ratios = {
     )
     for phase in ("born", "energy")
 }
+comm = json.load(open(out_dir + "/comm.json"))
+comm_ratio = comm["comm_bytes_sparse"] / comm["comm_bytes_dense"]
+ratios["comm_sparse_over_dense"] = comm_ratio
 
 if mode == "--update":
     for key, val in ratios.items():
@@ -56,5 +69,13 @@ for key, measured in ratios.items():
     print(f"{key}: measured {measured:.4f}  baseline {baseline[key]:.4f}  "
           f"allowed {allowed:.4f}  {verdict}")
     failed |= measured > allowed
+
+# Hard cap, independent of the recorded baseline: the sparse plan must
+# keep the integral phase at ≤ 60% of the dense allreduce's wire bytes.
+cap = baseline["comm_max_sparse_over_dense"]
+verdict = "ok" if comm_ratio <= cap else "OVER CAP"
+print(f"comm_sparse_over_dense hard cap: measured {comm_ratio:.4f}  "
+      f"cap {cap:.4f}  {verdict}")
+failed |= comm_ratio > cap
 sys.exit(1 if failed else 0)
 EOF

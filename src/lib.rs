@@ -53,8 +53,11 @@ pub use gb_surface as surface;
 pub use gb_cluster::{ClusterTopology, CostModel, SimCluster};
 pub use gb_core::modeled::{modeled_run, ModeledOutcome};
 pub use gb_core::naive::{naive_full, par_naive_full};
-pub use gb_core::runners::{run_data_distributed, run_distributed, run_hybrid, run_serial, run_shared};
-pub use gb_core::{GbParams, GbResult, GbSystem, MathKind, RadiiKind, WorkDivision};
+pub use gb_core::runners::{
+    run_data_distributed, run_distributed, run_hybrid, run_serial, run_shared,
+    try_run_data_distributed_mode, try_run_distributed_mode, try_run_hybrid_mode,
+};
+pub use gb_core::{CommMode, GbParams, GbResult, GbSystem, MathKind, RadiiKind, WorkDivision};
 pub use gb_molecule::{synthesize_protein, virus_shell, Molecule, SyntheticParams};
 pub use gb_surface::SurfaceParams;
 
@@ -63,8 +66,11 @@ pub mod prelude {
     pub use gb_cluster::{ClusterTopology, CostModel, SimCluster};
     pub use gb_core::modeled::modeled_run;
     pub use gb_core::naive::{naive_full, par_naive_full};
-    pub use gb_core::runners::{run_data_distributed, run_distributed, run_hybrid, run_serial, run_shared};
-    pub use gb_core::{GbParams, GbResult, GbSystem, MathKind, RadiiKind, WorkDivision};
+    pub use gb_core::runners::{
+        run_data_distributed, run_distributed, run_hybrid, run_serial, run_shared,
+        try_run_data_distributed_mode, try_run_distributed_mode, try_run_hybrid_mode,
+    };
+    pub use gb_core::{CommMode, GbParams, GbResult, GbSystem, MathKind, RadiiKind, WorkDivision};
     pub use gb_molecule::{
         synthesize_protein, virus_shell, zdock_suite, Atom, Element, Molecule, SyntheticParams,
     };

@@ -122,6 +122,91 @@ where
     }
 }
 
+/// A structured-concurrency scope (rayon's `scope`). Sequentially, a
+/// spawned task runs immediately on the calling thread — spawn order,
+/// which rayon leaves unspecified, becomes program order here, so any
+/// code whose correctness requires rayon's real interleaving freedom is
+/// already deterministic under this stub.
+pub struct Scope<'scope>(std::marker::PhantomData<&'scope ()>);
+
+impl<'scope> Scope<'scope> {
+    /// Runs `f` as a scope task (immediately, on the caller).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + 'scope,
+    {
+        f(self);
+    }
+}
+
+/// Runs `f` with a task [`Scope`]; returns once every spawned task has
+/// finished (trivially true for immediate sequential execution).
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    f(&Scope(std::marker::PhantomData))
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by the stub).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// rayon's `ThreadPoolBuilder`: records the requested worker count so
+/// callers can size their task partitioning off the pool, while the stub
+/// executes everything on the calling thread.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (machine-sized) worker count.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Requests `n` workers (0 = machine default, as in rayon).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible here; the `Result` mirrors rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { current_num_threads() } else { self.num_threads };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// An explicitly sized pool; `install` runs the closure "inside" it.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` in the pool's context (on the caller, sequentially).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// The pool's configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
 pub mod prelude {
     pub use crate::{
         IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
