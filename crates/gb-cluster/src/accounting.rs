@@ -105,6 +105,9 @@ pub struct RunReport {
     pub placements: Vec<Placement>,
     /// Real wall-clock of the simulation itself (not the modeled time).
     pub wall_seconds: f64,
+    /// Heal-and-replay cycles the self-healing supervisor performed
+    /// (0 on a fault-free run, or when recovery is disabled).
+    pub recoveries: u32,
 }
 
 impl RunReport {
@@ -116,7 +119,12 @@ impl RunReport {
     /// Replicated bytes held on each node (sum over the node's ranks) —
     /// the quantity behind the paper's 8.2 GB vs 1.4 GB comparison.
     pub fn node_working_sets(&self) -> Vec<f64> {
-        let nodes = self.placements.iter().map(|p| p.node).max().map_or(0, |m| m + 1);
+        let nodes = self
+            .placements
+            .iter()
+            .map(|p| p.node)
+            .max()
+            .map_or(0, |m| m + 1);
         let mut sets = vec![0.0; nodes];
         for (ledger, place) in self.ledgers.iter().zip(&self.placements) {
             sets[place.node] += ledger.replicated_bytes as f64;
@@ -163,7 +171,11 @@ impl RunReport {
                     .max(l.overlap_seconds)
             })
             .fold(0.0, f64::max);
-        let comm = self.ledgers.iter().map(|l| l.comm_seconds).fold(0.0, f64::max);
+        let comm = self
+            .ledgers
+            .iter()
+            .map(|l| l.comm_seconds)
+            .fold(0.0, f64::max);
         (comp, comm)
     }
 
@@ -172,7 +184,11 @@ impl RunReport {
         if self.ledgers.is_empty() {
             return 1.0;
         }
-        let max = self.ledgers.iter().map(|l| l.work_units).fold(0.0, f64::max);
+        let max = self
+            .ledgers
+            .iter()
+            .map(|l| l.work_units)
+            .fold(0.0, f64::max);
         let mean =
             self.ledgers.iter().map(|l| l.work_units).sum::<f64>() / self.ledgers.len() as f64;
         if mean > 0.0 {
@@ -204,7 +220,12 @@ mod tests {
             l.record_replicated(1_000_000 * (i as u64 + 1));
             ledgers.push(l);
         }
-        RunReport { ledgers, placements, wall_seconds: 0.0 }
+        RunReport {
+            ledgers,
+            placements,
+            wall_seconds: 0.0,
+            recoveries: 0,
+        }
     }
 
     #[test]
@@ -276,7 +297,10 @@ mod tests {
         let sets = r.node_working_sets();
         // all four ranks on node 0
         assert_eq!(sets.len(), 1);
-        assert_eq!(sets[0] as u64, 1_000_000 + 2_000_000 + 3_000_000 + 4_000_000);
+        assert_eq!(
+            sets[0] as u64,
+            1_000_000 + 2_000_000 + 3_000_000 + 4_000_000
+        );
         assert_eq!(r.total_replicated_bytes(), 10_000_000);
     }
 }

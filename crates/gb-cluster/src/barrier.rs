@@ -44,7 +44,8 @@ struct State {
     remaining: usize,
     /// Generation counter; bumped when a generation completes.
     generation: u64,
-    /// Set once; permanently fails all current and future waits.
+    /// Set once per recovery epoch; fails all current and future waits
+    /// until [`Barrier::heal`] clears it.
     poison: Option<Poison>,
 }
 
@@ -61,7 +62,11 @@ impl Barrier {
         assert!(n >= 1);
         Barrier {
             n,
-            state: Mutex::new(State { remaining: n, generation: 0, poison: None }),
+            state: Mutex::new(State {
+                remaining: n,
+                generation: 0,
+                poison: None,
+            }),
             cv: Condvar::new(),
         }
     }
@@ -80,6 +85,30 @@ impl Barrier {
     /// The poison cause, if the barrier has been poisoned.
     pub fn poison_state(&self) -> Option<Poison> {
         self.state.lock().poison.clone()
+    }
+
+    /// Current generation counter. Between two rendezvous the value is
+    /// stable for every participant: a collective attempt that deposits
+    /// before generation `g` completes is tagged `g`, and nobody can
+    /// advance the counter past `g` without that participant arriving.
+    pub fn generation(&self) -> u64 {
+        self.state.lock().generation
+    }
+
+    /// Heals a poisoned barrier for a new recovery epoch: clears the
+    /// poison, re-arms the arrival count, and bumps the generation so any
+    /// payload tagged with a pre-heal generation reads as stale.
+    ///
+    /// Only sound when no participant is blocked inside a wait — the
+    /// recovery rendezvous in the comm layer guarantees that (poison wakes
+    /// every waiter, and the rendezvous collects all of them before the
+    /// leader heals).
+    pub fn heal(&self) {
+        let mut s = self.state.lock();
+        s.poison = None;
+        s.remaining = self.n;
+        s.generation += 1;
+        self.cv.notify_all();
     }
 
     /// Blocks until all `n` participants have called `wait` in this
@@ -211,7 +240,10 @@ mod tests {
             .collect();
         // give the waiters time to block
         std::thread::sleep(Duration::from_millis(20));
-        b.poison(Poison { rank: 2, reason: "test kill".into() });
+        b.poison(Poison {
+            rank: 2,
+            reason: "test kill".into(),
+        });
         for h in waiters {
             let err = h.join().unwrap().unwrap_err();
             assert_eq!(err.rank, 2);
@@ -220,8 +252,89 @@ mod tests {
         // later waits fail immediately too
         assert!(b.wait().is_err());
         // first poison wins
-        b.poison(Poison { rank: 0, reason: "second".into() });
+        b.poison(Poison {
+            rank: 0,
+            reason: "second".into(),
+        });
         assert_eq!(b.poison_state().unwrap().reason, "test kill");
+    }
+
+    #[test]
+    fn heal_clears_poison_and_rearms() {
+        let b = Arc::new(Barrier::new(2));
+        let g0 = b.generation();
+        // poison with one waiter mid-arrival, so `remaining` is inconsistent
+        let b2 = b.clone();
+        let h = std::thread::spawn(move || b2.wait());
+        std::thread::sleep(Duration::from_millis(20));
+        b.poison(Poison {
+            rank: 1,
+            reason: "transient".into(),
+        });
+        assert!(h.join().unwrap().is_err());
+        b.heal();
+        assert!(b.poison_state().is_none());
+        assert!(b.generation() > g0, "heal must bump the generation");
+        // a full generation completes again after healing
+        let b2 = b.clone();
+        let h = std::thread::spawn(move || b2.wait().unwrap());
+        let lead = b.wait().unwrap();
+        assert_ne!(lead, h.join().unwrap(), "exactly one leader after heal");
+    }
+
+    #[test]
+    fn timed_out_waiter_retries_while_generation_flips() {
+        // The rollback race from the recovery protocol: a waiter times out
+        // (rolling back its arrival) and immediately retries `wait_for`
+        // while its peer arrives concurrently. Whatever the interleaving,
+        // each round must complete with exactly one leader and no lost or
+        // double-counted arrivals.
+        let b = Arc::new(Barrier::new(2));
+        let rounds = 50;
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let slow = {
+            let b = b.clone();
+            let leaders = leaders.clone();
+            std::thread::spawn(move || {
+                for i in 0..rounds {
+                    // stagger so some rounds arrive before the peer's
+                    // timeout and some after its rollback+retry
+                    std::thread::sleep(Duration::from_micros(300 * (i % 7) as u64));
+                    if b.wait().unwrap() {
+                        leaders.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        };
+        let fast = {
+            let b = b.clone();
+            let leaders = leaders.clone();
+            std::thread::spawn(move || {
+                for _ in 0..rounds {
+                    loop {
+                        match b.wait_for(Some(Duration::from_micros(200))) {
+                            Ok(true) => {
+                                leaders.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Ok(false) => break,
+                            // rolled back: the generation may flip between
+                            // this retry decision and the next wait_for
+                            Err(WaitError::TimedOut) => continue,
+                            Err(WaitError::Poisoned(p)) => panic!("unexpected poison: {p:?}"),
+                        }
+                    }
+                }
+            })
+        };
+        slow.join().unwrap();
+        fast.join().unwrap();
+        assert_eq!(
+            leaders.load(Ordering::Relaxed),
+            rounds,
+            "one leader per round"
+        );
+        assert_eq!(b.generation(), rounds as u64);
     }
 
     #[test]

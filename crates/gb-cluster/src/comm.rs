@@ -41,8 +41,8 @@ use crate::barrier::{Barrier, Poison, WaitError};
 use crate::costmodel::{CommLevel, CostModel};
 use crate::fault::{CommError, CommErrorKind, FaultPlan, OpKind, P2pAction, RankOpState};
 use crate::topology::{ClusterTopology, Placement};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use parking_lot::Mutex;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -52,15 +52,86 @@ use std::time::{Duration, Instant};
 /// immediately regardless).
 const POISON_POLL: Duration = Duration::from_millis(2);
 
+/// One rank's deposited collective payload, tagged with the barrier
+/// generation current at deposit time. The triple-barrier protocol makes
+/// the tag identical across ranks for one collective attempt, so a reader
+/// can reject a payload left over from a failed earlier attempt (a stale
+/// generation) instead of silently consuming it.
+struct Deposit {
+    gen: u64,
+    payload: Vec<f64>,
+}
+
+/// One point-to-point message on the wire. `not_before` carries a
+/// fault-plan delay to the *receiver*: the post stays nonblocking and the
+/// link stays FIFO, but the payload only becomes visible once the delay
+/// has elapsed — the fault delays delivery, not the sender.
+struct Envelope {
+    not_before: Option<Instant>,
+    payload: Vec<f64>,
+}
+
+impl Envelope {
+    fn due(&self) -> bool {
+        self.not_before.is_none_or(|t| Instant::now() >= t)
+    }
+}
+
+/// Verdict of one attempt of the rank programs, ruled at the recovery
+/// rendezvous by the last rank to arrive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AttemptVerdict {
+    /// Every rank completed: keep the results.
+    Commit,
+    /// At least one recoverable failure and budget remains: heal the
+    /// runtime and replay the rank programs.
+    Replay,
+    /// An unrecoverable failure (or exhausted budget): fail the run.
+    Abort,
+}
+
+/// Rendezvous state for the self-healing supervisor
+/// ([`SimCluster::with_recovery`]).
+struct RecoveryState {
+    /// Attempt currently being judged (0-based).
+    attempt: u64,
+    /// Ranks arrived at the rendezvous for this attempt.
+    arrived: usize,
+    /// At least one rank failed this attempt.
+    any_failed: bool,
+    /// At least one failure was unrecoverable (panic, or an error the
+    /// supervisor must not retry).
+    any_fatal: bool,
+    /// Verdict of the most recently judged attempt.
+    verdict: AttemptVerdict,
+    /// Heal-and-replay cycles performed so far.
+    recoveries: u32,
+}
+
+/// Faults that already fired, shared across ranks so a healed replay does
+/// not re-fire them: a kill (or p2p drop/delay) is one event in the life
+/// of the simulated cluster, not a property of every attempt.
+#[derive(Default)]
+struct FiredFaults {
+    kills: Vec<(usize, u64)>,
+    p2p: Vec<(usize, usize, u64)>,
+}
+
 /// Shared collective-exchange state for one run.
 struct CollectiveCtx {
     barrier: Barrier,
     /// One deposit slot per rank, reused across collectives (the
-    /// double-barrier protocol guarantees exclusive generations).
-    slots: Mutex<Vec<Option<Vec<f64>>>>,
+    /// double-barrier protocol guarantees exclusive generations); each
+    /// deposit is tagged with the barrier generation it belongs to.
+    slots: Mutex<Vec<Option<Deposit>>>,
     /// Each rank's last-op state, shared so any rank can diagnose a dead
     /// or hung cluster ("rank 3 never reached allreduce #7").
     status: Mutex<Vec<RankOpState>>,
+    /// Supervisor rendezvous (used only when recovery is enabled).
+    recovery: Mutex<RecoveryState>,
+    recovery_cv: Condvar,
+    /// One-shot fault bookkeeping.
+    fired: Mutex<FiredFaults>,
 }
 
 /// A simulated cluster: topology plus cost model, and optionally a
@@ -76,12 +147,23 @@ pub struct SimCluster {
     pub collective_timeout: Option<Duration>,
     /// Injected faults for resilience testing; empty by default.
     pub fault_plan: FaultPlan,
+    /// Self-healing budget: how many times a run may heal the runtime and
+    /// replay the rank programs after a *recoverable* failure (injected
+    /// kill, watchdog timeout, stale-generation read). `0` — the default —
+    /// preserves fail-fast semantics: the first failure aborts the run.
+    pub max_recoveries: u32,
 }
 
 impl SimCluster {
     /// Creates a cluster.
     pub fn new(topology: ClusterTopology, cost: CostModel) -> SimCluster {
-        SimCluster { topology, cost, collective_timeout: None, fault_plan: FaultPlan::new() }
+        SimCluster {
+            topology,
+            cost,
+            collective_timeout: None,
+            fault_plan: FaultPlan::new(),
+            max_recoveries: 0,
+        }
     }
 
     /// A single Lonestar4-style node (12 cores) with default costs.
@@ -106,6 +188,17 @@ impl SimCluster {
         self
     }
 
+    /// Enables the self-healing supervisor: up to `max_recoveries`
+    /// heal-and-replay cycles after recoverable failures. Each rank's
+    /// program is re-invoked from the top with [`Comm::attempt`] bumped, so
+    /// a deterministic program replays to a bit-identical result (and a
+    /// checkpointing program can branch on the attempt to restart from its
+    /// last completed superstep).
+    pub fn with_recovery(mut self, max_recoveries: u32) -> SimCluster {
+        self.max_recoveries = max_recoveries;
+        self
+    }
+
     /// Runs `f` on `ranks` ranks, each occupying `threads_per_rank` cores
     /// (1 for the pure distributed configuration, >1 for hybrid). Returns
     /// each rank's result plus the accounting report.
@@ -123,7 +216,8 @@ impl SimCluster {
         F: Fn(&mut Comm) -> R + Sync,
     {
         let wrapped = |c: &mut Comm| Ok(f(c));
-        let (ends, placements, wall, poison) = self.run_impl(ranks, threads_per_rank, &wrapped);
+        let (ends, placements, wall, poison, recoveries) =
+            self.run_impl(ranks, threads_per_rank, &wrapped);
         let origin = poison.as_ref().map(|p| p.rank);
         let mut panic_payloads: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
         let mut first_error: Option<CommError> = None;
@@ -142,6 +236,7 @@ impl SimCluster {
                 ledgers,
                 placements: Arc::try_unwrap(placements).unwrap_or_else(|a| (*a).clone()),
                 wall_seconds: wall,
+                recoveries,
             };
             return (results, report);
         }
@@ -177,7 +272,8 @@ impl SimCluster {
         R: Send,
         F: Fn(&mut Comm) -> Result<R, CommError> + Sync,
     {
-        let (ends, placements, wall, poison) = self.run_impl(ranks, threads_per_rank, &f);
+        let (ends, placements, wall, poison, recoveries) =
+            self.run_impl(ranks, threads_per_rank, &f);
         let mut results = Vec::with_capacity(ranks);
         let mut ledgers = Vec::with_capacity(ranks);
         let mut failures: Vec<(usize, CommError)> = Vec::new();
@@ -204,6 +300,7 @@ impl SimCluster {
                 ledgers,
                 placements: Arc::try_unwrap(placements).unwrap_or_else(|a| (*a).clone()),
                 wall_seconds: wall,
+                recoveries,
             };
             return Ok((results, report));
         }
@@ -230,14 +327,21 @@ impl SimCluster {
 
     /// Shared engine: spawns the rank threads, catches panics (poisoning
     /// the barrier so peers abort), and returns every rank's terminal
-    /// state plus its ledger.
+    /// state plus its ledger. With recovery enabled each thread runs a
+    /// supervisor loop that heals and replays after recoverable failures.
     #[allow(clippy::type_complexity)]
     fn run_impl<R, F>(
         &self,
         ranks: usize,
         threads_per_rank: usize,
         f: &F,
-    ) -> (Vec<(RankEnd<R>, RankLedger)>, Arc<Vec<Placement>>, f64, Option<Poison>)
+    ) -> (
+        Vec<(RankEnd<R>, RankLedger)>,
+        Arc<Vec<Placement>>,
+        f64,
+        Option<Poison>,
+        u32,
+    )
     where
         R: Send,
         F: Fn(&mut Comm) -> Result<R, CommError> + Sync,
@@ -247,15 +351,26 @@ impl SimCluster {
         let level = CostModel::worst_level(&placements);
         let ctx = Arc::new(CollectiveCtx {
             barrier: Barrier::new(ranks),
-            slots: Mutex::new(vec![None; ranks]),
+            slots: Mutex::new((0..ranks).map(|_| None).collect()),
             status: Mutex::new(vec![RankOpState::default(); ranks]),
+            recovery: Mutex::new(RecoveryState {
+                attempt: 0,
+                arrived: 0,
+                any_failed: false,
+                any_fatal: false,
+                verdict: AttemptVerdict::Commit,
+                recoveries: 0,
+            }),
+            recovery_cv: Condvar::new(),
+            fired: Mutex::new(FiredFaults::default()),
         });
         let fault_plan = Arc::new(self.fault_plan.clone());
 
         // P×P channel matrix; rank r owns receivers[..][r].
-        let mut senders: Vec<Vec<Sender<Vec<f64>>>> = Vec::with_capacity(ranks);
-        let mut receivers: Vec<Vec<Option<Receiver<Vec<f64>>>>> =
-            (0..ranks).map(|_| (0..ranks).map(|_| None).collect()).collect();
+        let mut senders: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(ranks);
+        let mut receivers: Vec<Vec<Option<Receiver<Envelope>>>> = (0..ranks)
+            .map(|_| (0..ranks).map(|_| None).collect())
+            .collect();
         for from in 0..ranks {
             let mut row = Vec::with_capacity(ranks);
             for to_row in receivers.iter_mut() {
@@ -268,11 +383,14 @@ impl SimCluster {
         let senders = Arc::new(senders);
 
         let start = std::time::Instant::now();
+        let max_recoveries = self.max_recoveries;
         let mut outputs: Vec<Option<(RankEnd<R>, RankLedger)>> = (0..ranks).map(|_| None).collect();
         crossbeam::thread::scope(|scope| {
             for (rank, slot) in outputs.iter_mut().enumerate() {
-                let my_receivers: Vec<Receiver<Vec<f64>>> =
-                    receivers[rank].iter_mut().map(|r| r.take().unwrap()).collect();
+                let my_receivers: Vec<Receiver<Envelope>> = receivers[rank]
+                    .iter_mut()
+                    .map(|r| r.take().unwrap())
+                    .collect();
                 let ctx = ctx.clone();
                 let senders = senders.clone();
                 let placements = placements.clone();
@@ -293,32 +411,16 @@ impl SimCluster {
                         receivers: my_receivers,
                         fault_plan,
                         send_counts: vec![0; ranks],
+                        held: (0..ranks).map(|_| None).collect(),
                         ops_started: 0,
+                        attempt: 0,
+                        max_recoveries,
                         ledger: RankLedger::default(),
                     };
-                    let outcome =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
-                    let end = match outcome {
-                        Ok(Ok(r)) => RankEnd::Done(r),
-                        Ok(Err(e)) => {
-                            // A fallible rank program gave up: poison so
-                            // peers blocked in collectives abort too.
-                            comm.ctx.barrier.poison(Poison {
-                                rank,
-                                reason: format!("rank {rank} failed: {e}"),
-                            });
-                            RankEnd::Failed(e)
-                        }
-                        Err(payload) => {
-                            comm.ctx.barrier.poison(Poison {
-                                rank,
-                                reason: format!(
-                                    "rank {rank} panicked: {}",
-                                    panic_message(payload.as_ref())
-                                ),
-                            });
-                            RankEnd::Panicked(payload)
-                        }
+                    let end = if max_recoveries == 0 {
+                        run_rank_once(&mut comm, f)
+                    } else {
+                        run_rank_supervised(&mut comm, f)
                     };
                     *slot = Some((end, comm.ledger));
                 });
@@ -328,25 +430,83 @@ impl SimCluster {
 
         let wall = start.elapsed().as_secs_f64();
         let poison = ctx.barrier.poison_state();
+        let recoveries = ctx.recovery.lock().recoveries;
         let ends = outputs
             .into_iter()
             .map(|o| o.expect("rank thread produced no outcome"))
             .collect();
-        (ends, placements, wall, poison)
+        (ends, placements, wall, poison, recoveries)
+    }
+}
+
+/// One attempt of the rank program: invoke `f`, catch panics, and poison
+/// the barrier on any failure so peers blocked in collectives or receives
+/// wake up instead of deadlocking.
+fn run_rank_once<R, F>(comm: &mut Comm, f: &F) -> RankEnd<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> Result<R, CommError> + Sync,
+{
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
+    let rank = comm.rank;
+    match outcome {
+        Ok(Ok(r)) => RankEnd::Done(r),
+        Ok(Err(e)) => {
+            // A fallible rank program gave up: poison so peers blocked in
+            // collectives abort too.
+            comm.ctx.barrier.poison(Poison {
+                rank,
+                reason: format!("rank {rank} failed: {e}"),
+            });
+            RankEnd::Failed(e)
+        }
+        Err(payload) => {
+            comm.ctx.barrier.poison(Poison {
+                rank,
+                reason: format!("rank {rank} panicked: {}", panic_message(payload.as_ref())),
+            });
+            RankEnd::Panicked(payload)
+        }
+    }
+}
+
+/// Supervisor loop for self-healing runs: run an attempt, rendezvous with
+/// every peer, and either commit the results, heal-and-replay, or abort.
+/// A killed (or timed-out, or stale-read) rank thus "respawns" — its
+/// deterministic op stream is re-executed from the top and it rejoins the
+/// team at the healed barrier's next generation boundary.
+fn run_rank_supervised<R, F>(comm: &mut Comm, f: &F) -> RankEnd<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> Result<R, CommError> + Sync,
+{
+    loop {
+        let end = run_rank_once(comm, f);
+        let (failed, fatal) = match &end {
+            RankEnd::Done(_) => (false, false),
+            RankEnd::Failed(e) => (true, !e.is_recoverable()),
+            RankEnd::Panicked(_) => (true, true),
+        };
+        match comm.attempt_rendezvous(failed, fatal) {
+            AttemptVerdict::Commit | AttemptVerdict::Abort => return end,
+            AttemptVerdict::Replay => comm.heal_for_replay(),
+        }
     }
 }
 
 /// Handle for a nonblocking send posted with [`Comm::try_isend`].
 ///
 /// The simulated transport buffers without bound, so the payload is already
-/// on the wire when the handle is returned; [`Comm::try_wait_send`] only
-/// re-checks for poison. The handle still makes the code shape match a real
-/// MPI pipeline (`MPI_Isend` → compute → `MPI_Wait`).
+/// on the wire when the handle is returned; [`Comm::try_wait_send`]
+/// re-checks for poison and for the per-op watchdog (anchored at the post
+/// time, like a receive). The handle still makes the code shape match a
+/// real MPI pipeline (`MPI_Isend` → compute → `MPI_Wait`).
 #[derive(Debug)]
 #[must_use = "an isend should eventually be waited on"]
 pub struct SendHandle {
     to: usize,
     words: usize,
+    posted: Instant,
 }
 
 impl SendHandle {
@@ -409,13 +569,20 @@ pub struct Comm {
     timeout: Option<Duration>,
     placements: Arc<Vec<Placement>>,
     ctx: Arc<CollectiveCtx>,
-    senders: Arc<Vec<Vec<Sender<Vec<f64>>>>>,
-    receivers: Vec<Receiver<Vec<f64>>>,
+    senders: Arc<Vec<Vec<Sender<Envelope>>>>,
+    receivers: Vec<Receiver<Envelope>>,
     fault_plan: Arc<FaultPlan>,
     /// Messages sent so far on each outgoing link (fault-plan indexing).
     send_counts: Vec<u64>,
+    /// Per-source holdback buffer: the link's oldest undelivered envelope
+    /// when its fault-plan delivery delay has not yet elapsed (younger
+    /// messages stay queued behind it, preserving FIFO).
+    held: Vec<Option<Envelope>>,
     /// Communication ops started by this rank (fault-plan indexing).
     ops_started: u64,
+    /// Which invocation of the rank program this is (0 = first).
+    attempt: u32,
+    max_recoveries: u32,
     ledger: RankLedger,
 }
 
@@ -466,6 +633,24 @@ impl Comm {
         self.ledger.steals += n;
     }
 
+    /// Which attempt of the rank program this is: 0 on the first
+    /// invocation, bumped each time the self-healing supervisor
+    /// ([`SimCluster::with_recovery`]) heals the runtime and replays.
+    /// Deterministic programs can branch on it to restart from their last
+    /// completed superstep checkpoint instead of recomputing everything.
+    #[inline]
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Whether the self-healing supervisor is active for this run
+    /// (`max_recoveries > 0`). Rank programs use this to skip checkpoint
+    /// bookkeeping that could never be restored.
+    #[inline]
+    pub fn recovery_enabled(&self) -> bool {
+        self.max_recoveries > 0
+    }
+
     // ---- failure-aware plumbing -------------------------------------------
 
     /// Snapshot of every rank's last-op state (for error diagnostics).
@@ -475,10 +660,108 @@ impl Comm {
 
     fn poisoned_error(&self, p: Poison, op: OpKind) -> CommError {
         CommError {
-            kind: CommErrorKind::Poisoned { origin: p.rank, reason: p.reason },
+            kind: CommErrorKind::Poisoned {
+                origin: p.rank,
+                reason: p.reason,
+            },
             rank: self.rank,
             op: Some(op),
             rank_states: self.snapshot_states(),
+        }
+    }
+
+    /// Rendezvous at the end of one attempt of the rank program. The last
+    /// rank to arrive rules on the attempt; on a replay verdict it also
+    /// performs the *shared* heal (clear poison, re-arm and re-generation
+    /// the barrier, drain the deposit slots, reset the status table) while
+    /// every peer is provably parked here — no wait is in flight, because
+    /// poison woke all of them and the rendezvous collected all of them.
+    fn attempt_rendezvous(&self, failed: bool, fatal: bool) -> AttemptVerdict {
+        let mut s = self.ctx.recovery.lock();
+        let my_attempt = s.attempt;
+        s.arrived += 1;
+        s.any_failed |= failed;
+        s.any_fatal |= fatal;
+        if s.arrived == self.size {
+            let verdict = if !s.any_failed {
+                AttemptVerdict::Commit
+            } else if !s.any_fatal && s.recoveries < self.max_recoveries {
+                AttemptVerdict::Replay
+            } else {
+                AttemptVerdict::Abort
+            };
+            if verdict == AttemptVerdict::Replay {
+                s.recoveries += 1;
+                self.ctx.barrier.heal();
+                for slot in self.ctx.slots.lock().iter_mut() {
+                    *slot = None;
+                }
+                for st in self.ctx.status.lock().iter_mut() {
+                    *st = RankOpState::default();
+                }
+            }
+            s.verdict = verdict;
+            s.arrived = 0;
+            s.any_failed = false;
+            s.any_fatal = false;
+            s.attempt += 1;
+            self.ctx.recovery_cv.notify_all();
+            verdict
+        } else {
+            while s.attempt == my_attempt {
+                self.ctx.recovery_cv.wait(&mut s);
+            }
+            // Stable until every rank (including us) re-arrives: the next
+            // attempt cannot be judged before this one is even replayed.
+            s.verdict
+        }
+    }
+
+    /// Per-rank heal before a replay: discard the failed attempt's
+    /// in-flight p2p traffic, reset the deterministic op/send counters and
+    /// the ledger (the replay re-bills from scratch), bump the attempt, and
+    /// rejoin the healed barrier so nobody's *new* sends can race a peer
+    /// still draining. The channels are quiescent during the drain — every
+    /// rank is between the rendezvous and this barrier, sending nothing.
+    fn heal_for_replay(&mut self) {
+        for from in 0..self.size {
+            self.held[from] = None;
+            while self.receivers[from].try_recv().is_ok() {}
+        }
+        self.send_counts.iter_mut().for_each(|c| *c = 0);
+        self.ops_started = 0;
+        self.ledger = RankLedger::default();
+        self.attempt += 1;
+        let _ = self.ctx.barrier.wait();
+    }
+
+    /// Records a kill as fired; returns false if it already fired in an
+    /// earlier attempt (a respawned rank replays past its death point —
+    /// the kill is one event, not a property of every attempt).
+    fn note_kill_fired(&self, idx: u64) -> bool {
+        let mut fired = self.ctx.fired.lock();
+        if fired.kills.contains(&(self.rank, idx)) {
+            false
+        } else {
+            fired.kills.push((self.rank, idx));
+            true
+        }
+    }
+
+    /// Fault-plan action for this link's `nth` message, consumed once so a
+    /// healed replay of the same deterministic send stream sees a clean
+    /// link instead of re-dropping (or re-delaying) the same message.
+    fn p2p_action_once(&self, to: usize, nth: u64) -> P2pAction {
+        let action = self.fault_plan.p2p_action(self.rank, to, nth);
+        if matches!(action, P2pAction::Deliver) {
+            return action;
+        }
+        let mut fired = self.ctx.fired.lock();
+        if fired.p2p.contains(&(self.rank, to, nth)) {
+            P2pAction::Deliver
+        } else {
+            fired.p2p.push((self.rank, to, nth));
+            action
         }
     }
 
@@ -490,15 +773,21 @@ impl Comm {
         self.ledger.note_op(kind);
         {
             let mut status = self.ctx.status.lock();
-            status[self.rank] =
-                RankOpState { ops_started: self.ops_started, last_op: Some(kind), in_op: true };
+            status[self.rank] = RankOpState {
+                ops_started: self.ops_started,
+                last_op: Some(kind),
+                in_op: true,
+            };
         }
         if let Some(p) = self.ctx.barrier.poison_state() {
             return Err(self.poisoned_error(p, kind));
         }
-        if self.fault_plan.should_kill(self.rank, idx) {
+        if self.fault_plan.should_kill(self.rank, idx) && self.note_kill_fired(idx) {
             let reason = format!("killed by fault plan at op #{idx} ({kind})");
-            self.ctx.barrier.poison(Poison { rank: self.rank, reason });
+            self.ctx.barrier.poison(Poison {
+                rank: self.rank,
+                reason,
+            });
             return Err(CommError {
                 kind: CommErrorKind::Killed { op_index: idx },
                 rank: self.rank,
@@ -552,35 +841,48 @@ impl Comm {
         self.send_counts[to] += 1;
         let words = payload.len();
         let level = CommLevel::between(&self.placements[self.rank], &self.placements[to]);
-        self.ledger.add_comm_for(OpKind::Send, self.cost.p2p(level, words), (words * 8) as u64);
-        match self.fault_plan.p2p_action(self.rank, to, nth) {
+        self.ledger.add_comm_for(
+            OpKind::Send,
+            self.cost.p2p(level, words),
+            (words * 8) as u64,
+        );
+        match self.p2p_action_once(to, nth) {
             P2pAction::Drop => {} // message vanishes on the wire
-            P2pAction::Delay(d) => {
-                std::thread::sleep(d);
-                self.deliver(to, payload, OpKind::Send)?;
-            }
-            P2pAction::Deliver => self.deliver(to, payload, OpKind::Send)?,
+            P2pAction::Delay(d) => self.deliver(to, payload, Some(d), OpKind::Send)?,
+            P2pAction::Deliver => self.deliver(to, payload, None, OpKind::Send)?,
         }
         self.end_op();
         Ok(())
     }
 
-    fn deliver(&self, to: usize, payload: Vec<f64>, op: OpKind) -> Result<(), CommError> {
-        self.senders[self.rank][to].send(payload).map_err(|_| match self
-            .ctx
-            .barrier
-            .poison_state()
-        {
-            Some(p) => self.poisoned_error(p, op),
-            None => CommError {
-                kind: CommErrorKind::Poisoned {
-                    origin: to,
-                    reason: format!("rank {to} closed its channels"),
+    /// Posts a payload on the outgoing link. A fault-plan `delay` rides
+    /// along in the envelope and is applied at *delivery* time by the
+    /// receiver (the post itself never blocks — a delayed link must not
+    /// serialize the sender's overlap pipeline).
+    fn deliver(
+        &self,
+        to: usize,
+        payload: Vec<f64>,
+        delay: Option<Duration>,
+        op: OpKind,
+    ) -> Result<(), CommError> {
+        let envelope = Envelope {
+            not_before: delay.map(|d| Instant::now() + d),
+            payload,
+        };
+        self.senders[self.rank][to].send(envelope).map_err(|_| {
+            match self.ctx.barrier.poison_state() {
+                Some(p) => self.poisoned_error(p, op),
+                None => CommError {
+                    kind: CommErrorKind::Poisoned {
+                        origin: to,
+                        reason: format!("rank {to} closed its channels"),
+                    },
+                    rank: self.rank,
+                    op: Some(op),
+                    rank_states: self.snapshot_states(),
                 },
-                rank: self.rank,
-                op: Some(op),
-                rank_states: self.snapshot_states(),
-            },
+            }
         })
     }
 
@@ -596,29 +898,59 @@ impl Comm {
         self.send_counts[to] += 1;
         let words = payload.len();
         let level = CommLevel::between(&self.placements[self.rank], &self.placements[to]);
-        self.ledger.add_overlap_for(OpKind::Isend, self.cost.p2p(level, words), (words * 8) as u64);
-        match self.fault_plan.p2p_action(self.rank, to, nth) {
+        self.ledger.add_overlap_for(
+            OpKind::Isend,
+            self.cost.p2p(level, words),
+            (words * 8) as u64,
+        );
+        match self.p2p_action_once(to, nth) {
             P2pAction::Drop => {} // message vanishes on the wire
-            P2pAction::Delay(d) => {
-                std::thread::sleep(d);
-                self.deliver(to, payload, OpKind::Isend)?;
-            }
-            P2pAction::Deliver => self.deliver(to, payload, OpKind::Isend)?,
+            P2pAction::Delay(d) => self.deliver(to, payload, Some(d), OpKind::Isend)?,
+            P2pAction::Deliver => self.deliver(to, payload, None, OpKind::Isend)?,
         }
         self.end_op();
-        Ok(SendHandle { to, words })
+        Ok(SendHandle {
+            to,
+            words,
+            posted: Instant::now(),
+        })
     }
 
     /// Completes a nonblocking send. The simulated transport buffers
     /// without bound, so the payload already left at post time; waiting
-    /// only re-checks for poison so in-flight sends of a dying run fail
-    /// fast instead of being silently forgotten.
+    /// re-checks for poison — so in-flight sends of a dying run fail fast
+    /// instead of being silently forgotten — and honors the per-op
+    /// watchdog (anchored at the post, like [`Comm::try_wait_recv`]): a
+    /// wait reached only after the deadline on a hung-but-unpoisoned run
+    /// converts into a diagnostic timeout instead of silently succeeding.
     pub fn try_wait_send(&mut self, handle: SendHandle) -> Result<(), CommError> {
-        let SendHandle { .. } = handle;
+        let SendHandle { to, posted, .. } = handle;
         if let Some(p) = self.ctx.barrier.poison_state() {
             return Err(self.poisoned_error(p, OpKind::Isend));
         }
+        if self.timeout.is_some_and(|t| posted.elapsed() >= t) {
+            return Err(self.send_timeout_error(to));
+        }
         Ok(())
+    }
+
+    /// Raises (and poisons for) a send watchdog expiry.
+    fn send_timeout_error(&self, to: usize) -> CommError {
+        let timeout = self.timeout.expect("deadline without timeout");
+        let states = self.snapshot_states();
+        self.ctx.barrier.poison(Poison {
+            rank: self.rank,
+            reason: format!(
+                "rank {} timed out after {timeout:?} in isend to {to}",
+                self.rank
+            ),
+        });
+        CommError {
+            kind: CommErrorKind::Timeout { timeout },
+            rank: self.rank,
+            op: Some(OpKind::Isend),
+            rank_states: states,
+        }
     }
 
     /// Posts a nonblocking receive from `from` and returns a poll-able
@@ -627,23 +959,57 @@ impl Comm {
         assert!(from < self.size && from != self.rank, "bad source {from}");
         self.begin_op(OpKind::Irecv)?;
         self.end_op();
-        Ok(RecvHandle { from, posted: Instant::now() })
+        Ok(RecvHandle {
+            from,
+            posted: Instant::now(),
+        })
+    }
+
+    /// Nonblocking take from the incoming link, honoring delivery-time
+    /// delays: an envelope whose `not_before` has not arrived is parked in
+    /// the per-source holdback slot (it is the link's oldest undelivered
+    /// message, so FIFO is preserved) and the take reports "nothing yet".
+    /// `Err` means the link is disconnected with nothing left to deliver.
+    fn take_due(&mut self, from: usize) -> Result<Option<Vec<f64>>, TryRecvError> {
+        if let Some(envelope) = self.held[from].take() {
+            if envelope.due() {
+                return Ok(Some(envelope.payload));
+            }
+            self.held[from] = Some(envelope);
+            return Ok(None);
+        }
+        match self.receivers[from].try_recv() {
+            Ok(envelope) if envelope.due() => Ok(Some(envelope.payload)),
+            Ok(envelope) => {
+                self.held[from] = Some(envelope);
+                Ok(None)
+            }
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TryRecvError::Disconnected),
+        }
     }
 
     /// Polls a posted receive without blocking: `Ok(Some(payload))` once
     /// the message arrived, `Ok(None)` while still in flight. Observed
     /// poison and an expired watchdog deadline (anchored at the post)
     /// convert into errors exactly like the blocking receive.
+    ///
+    /// A poll counts as a communication op in the fault-plan stream — a
+    /// `kill_rank(r, k)` scheduled to fire mid-poll-loop fires here — but
+    /// bills no blocking time: a successful poll's modeled cost lands in
+    /// the overlap bucket, and an empty poll costs nothing.
     pub fn try_poll_recv(&mut self, handle: &RecvHandle) -> Result<Option<Vec<f64>>, CommError> {
-        match self.receivers[handle.from].try_recv() {
-            Ok(payload) => {
+        self.begin_op(OpKind::Irecv)?;
+        match self.take_due(handle.from) {
+            Ok(Some(payload)) => {
                 let level =
                     CommLevel::between(&self.placements[self.rank], &self.placements[handle.from]);
-                self.ledger.add_overlap_for(OpKind::Irecv, self.cost.p2p(level, payload.len()), 0);
+                self.ledger
+                    .add_overlap_for(OpKind::Irecv, self.cost.p2p(level, payload.len()), 0);
+                self.end_op();
                 Ok(Some(payload))
             }
-            Err(TryRecvError::Disconnected) => Err(self.closed_channel_error(handle.from)),
-            Err(TryRecvError::Empty) => {
+            Ok(None) => {
                 if let Some(p) = self.ctx.barrier.poison_state() {
                     return Err(self.poisoned_error(p, OpKind::Irecv));
                 }
@@ -652,8 +1018,10 @@ impl Comm {
                         return Err(self.recv_timeout_error(handle.from, OpKind::Irecv));
                     }
                 }
+                self.end_op();
                 Ok(None)
             }
+            Err(_) => Err(self.closed_channel_error(handle.from)),
         }
     }
 
@@ -664,31 +1032,40 @@ impl Comm {
     pub fn try_wait_recv(&mut self, handle: RecvHandle) -> Result<Vec<f64>, CommError> {
         let deadline = self.timeout.map(|t| handle.posted + t);
         loop {
-            match self.receivers[handle.from].recv_timeout(POISON_POLL) {
-                Ok(payload) => {
+            match self.take_due(handle.from) {
+                Ok(Some(payload)) => {
                     let level = CommLevel::between(
                         &self.placements[self.rank],
                         &self.placements[handle.from],
                     );
-                    self.ledger.add_comm_for(
-                        OpKind::Irecv,
-                        self.cost.p2p(level, payload.len()),
-                        0,
-                    );
+                    self.ledger
+                        .add_comm_for(OpKind::Irecv, self.cost.p2p(level, payload.len()), 0);
                     return Ok(payload);
                 }
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(self.closed_channel_error(handle.from));
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    if let Some(p) = self.ctx.barrier.poison_state() {
-                        return Err(self.poisoned_error(p, OpKind::Irecv));
-                    }
-                    if deadline.is_some_and(|d| Instant::now() >= d) {
-                        return Err(self.recv_timeout_error(handle.from, OpKind::Irecv));
-                    }
-                }
+                Ok(None) => {}
+                Err(_) => return Err(self.closed_channel_error(handle.from)),
             }
+            if let Some(p) = self.ctx.barrier.poison_state() {
+                return Err(self.poisoned_error(p, OpKind::Irecv));
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(self.recv_timeout_error(handle.from, OpKind::Irecv));
+            }
+            self.block_for_arrival(handle.from);
+        }
+    }
+
+    /// One bounded wait for link activity: parks a fresh arrival in the
+    /// holdback slot (the due-check happens at the next `take_due`), or
+    /// just sleeps a poll tick when a not-yet-due envelope is already
+    /// held — nothing newer may overtake it.
+    fn block_for_arrival(&mut self, from: usize) {
+        if self.held[from].is_none() {
+            if let Ok(envelope) = self.receivers[from].recv_timeout(POISON_POLL) {
+                self.held[from] = Some(envelope);
+            }
+        } else {
+            std::thread::sleep(POISON_POLL);
         }
     }
 
@@ -714,7 +1091,10 @@ impl Comm {
         let states = self.snapshot_states();
         self.ctx.barrier.poison(Poison {
             rank: self.rank,
-            reason: format!("rank {} timed out after {timeout:?} in {op} from {from}", self.rank),
+            reason: format!(
+                "rank {} timed out after {timeout:?} in {op} from {from}",
+                self.rank
+            ),
         });
         CommError {
             kind: CommErrorKind::Timeout { timeout },
@@ -737,9 +1117,10 @@ impl Comm {
         self.begin_op(OpKind::Recv)?;
         let deadline = self.timeout.map(|t| Instant::now() + t);
         let payload = loop {
-            match self.receivers[from].recv_timeout(POISON_POLL) {
-                Ok(p) => break p,
-                Err(RecvTimeoutError::Disconnected) => {
+            match self.take_due(from) {
+                Ok(Some(p)) => break p,
+                Ok(None) => {}
+                Err(_) => {
                     return Err(match self.ctx.barrier.poison_state() {
                         Some(p) => self.poisoned_error(p, OpKind::Recv),
                         None => CommError {
@@ -753,35 +1134,19 @@ impl Comm {
                         },
                     });
                 }
-                Err(RecvTimeoutError::Timeout) => {
-                    if let Some(p) = self.ctx.barrier.poison_state() {
-                        return Err(self.poisoned_error(p, OpKind::Recv));
-                    }
-                    if let Some(d) = deadline {
-                        if Instant::now() >= d {
-                            let timeout = self.timeout.expect("deadline without timeout");
-                            let states = self.snapshot_states();
-                            self.ctx.barrier.poison(Poison {
-                                rank: self.rank,
-                                reason: format!(
-                                    "rank {} timed out after {timeout:?} in recv from {from}",
-                                    self.rank
-                                ),
-                            });
-                            return Err(CommError {
-                                kind: CommErrorKind::Timeout { timeout },
-                                rank: self.rank,
-                                op: Some(OpKind::Recv),
-                                rank_states: states,
-                            });
-                        }
-                    }
-                }
             }
+            if let Some(p) = self.ctx.barrier.poison_state() {
+                return Err(self.poisoned_error(p, OpKind::Recv));
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(self.recv_timeout_error(from, OpKind::Recv));
+            }
+            self.block_for_arrival(from);
         };
         // Receiver pays latency too (it idles for the message).
         let level = CommLevel::between(&self.placements[self.rank], &self.placements[from]);
-        self.ledger.add_comm_for(OpKind::Recv, self.cost.p2p(level, payload.len()), 0);
+        self.ledger
+            .add_comm_for(OpKind::Recv, self.cost.p2p(level, payload.len()), 0);
         self.end_op();
         Ok(payload)
     }
@@ -799,7 +1164,8 @@ impl Comm {
         if self.size > 1 {
             self.sync(OpKind::Barrier)?;
         }
-        self.ledger.add_comm_for(OpKind::Barrier, self.cost.barrier(self.level, self.size), 0);
+        self.ledger
+            .add_comm_for(OpKind::Barrier, self.cost.barrier(self.level, self.size), 0);
         self.end_op();
         Ok(())
     }
@@ -818,7 +1184,8 @@ impl Comm {
             self.end_op();
             return Ok(());
         }
-        self.deposit(data.to_vec());
+        let tag = self.collective_tag();
+        self.deposit(tag, data.to_vec());
         self.sync(OP)?;
         {
             let slots = self.ctx.slots.lock();
@@ -826,7 +1193,7 @@ impl Comm {
                 *x = 0.0;
             }
             for r in 0..self.size {
-                let contrib = slots[r].as_ref().expect("missing contribution");
+                let contrib = self.checked_payload(&slots, r, tag, OP)?;
                 assert_eq!(contrib.len(), data.len(), "allreduce length mismatch");
                 for (x, c) in data.iter_mut().zip(contrib) {
                     *x += *c;
@@ -857,7 +1224,8 @@ impl Comm {
             self.end_op();
             return Ok(());
         }
-        self.deposit(data.to_vec());
+        let tag = self.collective_tag();
+        self.deposit(tag, data.to_vec());
         self.sync(OP)?;
         {
             let slots = self.ctx.slots.lock();
@@ -865,7 +1233,7 @@ impl Comm {
                 *x = f64::NEG_INFINITY;
             }
             for r in 0..self.size {
-                let contrib = slots[r].as_ref().expect("missing contribution");
+                let contrib = self.checked_payload(&slots, r, tag, OP)?;
                 assert_eq!(contrib.len(), data.len(), "allreduce length mismatch");
                 for (x, c) in data.iter_mut().zip(contrib) {
                     *x = x.max(*c);
@@ -899,13 +1267,14 @@ impl Comm {
             self.end_op();
             return Ok(Some(data.to_vec()));
         }
-        self.deposit(data.to_vec());
+        let tag = self.collective_tag();
+        self.deposit(tag, data.to_vec());
         self.sync(OP)?;
         let result = if self.rank == root {
             let slots = self.ctx.slots.lock();
             let mut acc = vec![0.0; data.len()];
             for r in 0..self.size {
-                let contrib = slots[r].as_ref().expect("missing contribution");
+                let contrib = self.checked_payload(&slots, r, tag, OP)?;
                 for (x, c) in acc.iter_mut().zip(contrib) {
                     *x += *c;
                 }
@@ -939,13 +1308,14 @@ impl Comm {
             self.end_op();
             return Ok(());
         }
+        let tag = self.collective_tag();
         if self.rank == root {
-            self.deposit(data.clone());
+            self.deposit(tag, data.clone());
         }
         self.sync(OP)?;
         if self.rank != root {
             let slots = self.ctx.slots.lock();
-            *data = slots[root].as_ref().expect("root deposited nothing").clone();
+            *data = self.checked_payload(&slots, root, tag, OP)?.clone();
         }
         self.finish_collective(OP)?;
         self.ledger.add_comm_for(
@@ -971,18 +1341,22 @@ impl Comm {
             self.end_op();
             return Ok(local.to_vec());
         }
-        self.deposit(local.to_vec());
+        let tag = self.collective_tag();
+        self.deposit(tag, local.to_vec());
         self.sync(OP)?;
         let mut out;
-        let max_words;
+        let mut max_words = 0;
         {
             let slots = self.ctx.slots.lock();
-            let total: usize = slots.iter().map(|s| s.as_ref().map_or(0, |v| v.len())).sum();
-            max_words =
-                slots.iter().map(|s| s.as_ref().map_or(0, |v| v.len())).max().unwrap_or(0);
+            let mut total = 0;
+            for r in 0..self.size {
+                let words = self.checked_payload(&slots, r, tag, OP)?.len();
+                total += words;
+                max_words = max_words.max(words);
+            }
             out = Vec::with_capacity(total);
             for r in 0..self.size {
-                out.extend_from_slice(slots[r].as_ref().expect("missing contribution"));
+                out.extend_from_slice(self.checked_payload(&slots, r, tag, OP)?);
             }
         }
         self.finish_collective(OP)?;
@@ -1006,17 +1380,14 @@ impl Comm {
     }
 
     /// Fallible scatter from `root`.
-    pub fn try_scatter(
-        &mut self,
-        root: usize,
-        chunks: &[Vec<f64>],
-    ) -> Result<Vec<f64>, CommError> {
+    pub fn try_scatter(&mut self, root: usize, chunks: &[Vec<f64>]) -> Result<Vec<f64>, CommError> {
         const OP: OpKind = OpKind::Scatter;
         self.begin_op(OP)?;
         if self.size == 1 {
             self.end_op();
             return Ok(chunks.first().cloned().unwrap_or_default());
         }
+        let tag = self.collective_tag();
         if self.rank == root {
             assert_eq!(chunks.len(), self.size, "scatter needs one chunk per rank");
             // deposit the concatenation with a length header per rank
@@ -1025,13 +1396,13 @@ impl Comm {
                 flat.push(c.len() as f64);
                 flat.extend_from_slice(c);
             }
-            self.deposit(flat);
+            self.deposit(tag, flat);
         }
         self.sync(OP)?;
         let mine;
         {
             let slots = self.ctx.slots.lock();
-            let flat = slots[root].as_ref().expect("root deposited nothing");
+            let flat = self.checked_payload(&slots, root, tag, OP)?;
             let mut cursor = 0usize;
             let mut found = Vec::new();
             for r in 0..self.size {
@@ -1091,13 +1462,14 @@ impl Comm {
             self.end_op();
             return Ok(data.to_vec());
         }
-        self.deposit(data.to_vec());
+        let tag = self.collective_tag();
+        self.deposit(tag, data.to_vec());
         self.sync(OP)?;
         let mut acc = vec![0.0; data.len()];
         {
             let slots = self.ctx.slots.lock();
             for r in 0..=self.rank {
-                let contrib = slots[r].as_ref().expect("missing contribution");
+                let contrib = self.checked_payload(&slots, r, tag, OP)?;
                 assert_eq!(contrib.len(), data.len(), "scan length mismatch");
                 for (x, c) in acc.iter_mut().zip(contrib) {
                     *x += *c;
@@ -1131,11 +1503,16 @@ impl Comm {
             self.end_op();
             return Ok(Some(vec![local.to_vec()]));
         }
-        self.deposit(local.to_vec());
+        let tag = self.collective_tag();
+        self.deposit(tag, local.to_vec());
         self.sync(OP)?;
         let result = if self.rank == root {
             let slots = self.ctx.slots.lock();
-            Some((0..self.size).map(|r| slots[r].clone().expect("missing contribution")).collect())
+            let mut rows = Vec::with_capacity(self.size);
+            for r in 0..self.size {
+                rows.push(self.checked_payload(&slots, r, tag, OP)?.clone());
+            }
+            Some(rows)
         } else {
             None
         };
@@ -1166,7 +1543,11 @@ impl Comm {
         outgoing: &[Vec<f64>],
     ) -> Result<Vec<Vec<f64>>, CommError> {
         const OP: OpKind = OpKind::SparseExchange;
-        assert_eq!(outgoing.len(), self.size, "sparse exchange needs one payload per rank");
+        assert_eq!(
+            outgoing.len(),
+            self.size,
+            "sparse exchange needs one payload per rank"
+        );
         self.begin_op(OP)?;
         if self.size == 1 {
             self.end_op();
@@ -1180,13 +1561,14 @@ impl Comm {
             flat.push(chunk.len() as f64);
             flat.extend_from_slice(chunk);
         }
-        self.deposit(flat);
+        let tag = self.collective_tag();
+        self.deposit(tag, flat);
         self.sync(OP)?;
         let mut incoming = Vec::with_capacity(self.size);
         {
             let slots = self.ctx.slots.lock();
             for r in 0..self.size {
-                let row = slots[r].as_ref().expect("missing contribution");
+                let row = self.checked_payload(&slots, r, tag, OP)?;
                 let mut cursor = 0usize;
                 let mut mine = Vec::new();
                 for dest in 0..self.size {
@@ -1204,8 +1586,11 @@ impl Comm {
         // Bill this rank's outbound traffic: one message per non-empty
         // foreign payload, bandwidth for every foreign word (the self-chunk
         // never touches the wire).
-        let num_msgs =
-            outgoing.iter().enumerate().filter(|&(d, v)| d != self.rank && !v.is_empty()).count();
+        let num_msgs = outgoing
+            .iter()
+            .enumerate()
+            .filter(|&(d, v)| d != self.rank && !v.is_empty())
+            .count();
         let wire_words: usize = outgoing
             .iter()
             .enumerate()
@@ -1213,15 +1598,53 @@ impl Comm {
             .sum();
         self.ledger.add_comm_for(
             OP,
-            self.cost.sparse_exchange(self.level, self.size, num_msgs, wire_words),
+            self.cost
+                .sparse_exchange(self.level, self.size, num_msgs, wire_words),
             (wire_words * 8) as u64,
         );
         self.end_op();
         Ok(incoming)
     }
 
-    fn deposit(&self, payload: Vec<f64>) {
-        self.ctx.slots.lock()[self.rank] = Some(payload);
+    /// The generation tag for a collective attempt: the barrier generation
+    /// current *before* the attempt's first rendezvous. Stable across the
+    /// whole deposit window — nobody can complete that rendezvous (and
+    /// advance the counter) until this rank arrives at it.
+    fn collective_tag(&self) -> u64 {
+        self.ctx.barrier.generation()
+    }
+
+    /// Deposits this rank's payload tagged with the attempt's generation.
+    /// A stale deposit left in the slot by a failed earlier attempt is
+    /// overwritten — discarded, never merged.
+    fn deposit(&self, tag: u64, payload: Vec<f64>) {
+        self.ctx.slots.lock()[self.rank] = Some(Deposit { gen: tag, payload });
+    }
+
+    /// Reads rank `r`'s deposit, validating its generation tag: a missing
+    /// deposit or one tagged with another generation is a stale leftover
+    /// from a failed attempt and must be *discarded*, not consumed — the
+    /// caller gets [`CommErrorKind::StaleGeneration`] (recoverable, so the
+    /// supervisor retries the whole attempt against drained slots).
+    fn checked_payload<'s>(
+        &self,
+        slots: &'s [Option<Deposit>],
+        r: usize,
+        tag: u64,
+        op: OpKind,
+    ) -> Result<&'s Vec<f64>, CommError> {
+        match &slots[r] {
+            Some(d) if d.gen == tag => Ok(&d.payload),
+            other => Err(CommError {
+                kind: CommErrorKind::StaleGeneration {
+                    expected: tag,
+                    found: other.as_ref().map(|d| d.gen),
+                },
+                rank: self.rank,
+                op: Some(op),
+                rank_states: self.snapshot_states(),
+            }),
+        }
     }
 
     /// Second barrier of the double-barrier protocol; the last rank out
@@ -1320,7 +1743,9 @@ mod tests {
             let local = vec![c.rank() as f64; c.rank() + 1];
             c.allgatherv(&local)
         });
-        let want = vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 4.0, 4.0];
+        let want = vec![
+            0.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 4.0, 4.0,
+        ];
         for r in &results {
             assert_eq!(*r, want);
         }
@@ -1329,7 +1754,11 @@ mod tests {
     #[test]
     fn broadcast_delivers_root_payload() {
         let (results, _) = cluster().run(7, 1, |c| {
-            let mut v = if c.rank() == 3 { vec![42.0, -1.0] } else { Vec::new() };
+            let mut v = if c.rank() == 3 {
+                vec![42.0, -1.0]
+            } else {
+                Vec::new()
+            };
             c.broadcast(3, &mut v);
             v
         });
@@ -1498,7 +1927,10 @@ mod tests {
             assert_eq!(*r, ((i + p - 1) % p) as f64);
         }
         for l in &report.ledgers {
-            assert!(l.overlap_seconds > 0.0, "isend/poll must bill the overlap bucket");
+            assert!(
+                l.overlap_seconds > 0.0,
+                "isend/poll must bill the overlap bucket"
+            );
             assert_eq!(l.bytes_for(OpKind::Isend), 800);
             assert_eq!(l.comm_seconds, 0.0, "no blocking comm in this program");
         }
@@ -1613,7 +2045,10 @@ mod tests {
         };
         let distributed = comm_of(12, 1);
         let hybrid = comm_of(2, 6);
-        assert!(hybrid < distributed, "hybrid {hybrid} vs distributed {distributed}");
+        assert!(
+            hybrid < distributed,
+            "hybrid {hybrid} vs distributed {distributed}"
+        );
     }
 
     #[test]
@@ -1623,7 +2058,11 @@ mod tests {
         // (tiny) average.
         let big = 1 << 17; // 1 MB of f64s
         let (_, report) = cluster().run(4, 1, |c| {
-            let local = if c.rank() == 2 { vec![1.0; big] } else { vec![1.0] };
+            let local = if c.rank() == 2 {
+                vec![1.0; big]
+            } else {
+                vec![1.0]
+            };
             c.allgatherv(&local);
         });
         let cost = CostModel::default();
@@ -1657,7 +2096,9 @@ mod tests {
             .try_run(3, 1, |c| {
                 if c.rank() == 1 {
                     return Err(CommError {
-                        kind: CommErrorKind::RankPanicked { message: "synthetic".into() },
+                        kind: CommErrorKind::RankPanicked {
+                            message: "synthetic".into(),
+                        },
                         rank: 1,
                         op: None,
                         rank_states: Vec::new(),
@@ -1669,6 +2110,10 @@ mod tests {
             })
             .unwrap_err();
         assert_eq!(err.rank, 1);
-        assert_eq!(err.rank_states.len(), 3, "diagnostics for every rank: {err}");
+        assert_eq!(
+            err.rank_states.len(),
+            3,
+            "diagnostics for every rank: {err}"
+        );
     }
 }

@@ -162,6 +162,16 @@ pub enum CommErrorKind {
         /// The panic payload, stringified.
         message: String,
     },
+    /// A collective read a deposit tagged with a different barrier
+    /// generation than the reader's attempt — a stale payload left over
+    /// from a failed attempt that the recovery drain should have
+    /// discarded. Retrying after a heal clears it.
+    StaleGeneration {
+        /// Generation tag the reader's attempt carries.
+        expected: u64,
+        /// Tag found in the slot (`None` if the slot was empty).
+        found: Option<u64>,
+    },
 }
 
 /// A communication failure, with enough context to debug a dead cluster:
@@ -189,6 +199,21 @@ impl CommError {
             _ => false,
         }
     }
+
+    /// True if the self-healing supervisor may recover from this failure
+    /// by healing the runtime and replaying the attempt: injected kills,
+    /// watchdog timeouts, stale-generation reads, and poison observed from
+    /// such a root cause. A panic is not recoverable — the program itself
+    /// is broken, and a deterministic replay would only panic again.
+    pub fn is_recoverable(&self) -> bool {
+        match &self.kind {
+            CommErrorKind::Killed { .. }
+            | CommErrorKind::Timeout { .. }
+            | CommErrorKind::StaleGeneration { .. } => true,
+            CommErrorKind::Poisoned { reason, .. } => !reason.contains("panicked"),
+            CommErrorKind::RankPanicked { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for CommError {
@@ -204,12 +229,20 @@ impl fmt::Display for CommError {
                 "rank {} timed out after {timeout:?} waiting in a collective",
                 self.rank
             )?,
-            CommErrorKind::Killed { op_index } => {
-                write!(f, "rank {} killed by fault plan at op #{op_index}", self.rank)?
-            }
+            CommErrorKind::Killed { op_index } => write!(
+                f,
+                "rank {} killed by fault plan at op #{op_index}",
+                self.rank
+            )?,
             CommErrorKind::RankPanicked { message } => {
                 write!(f, "rank {} panicked: {message}", self.rank)?
             }
+            CommErrorKind::StaleGeneration { expected, found } => write!(
+                f,
+                "rank {} read a stale-generation deposit (expected gen {expected}, found {})",
+                self.rank,
+                found.map_or("empty slot".to_string(), |g| format!("gen {g}")),
+            )?,
         }
         if let Some(op) = self.op {
             write!(f, " [in {op}]")?;
@@ -244,7 +277,12 @@ enum Fault {
     /// Kill `rank` when it starts its `at_op`-th (0-based) communication op.
     KillRank { rank: usize, at_op: u64 },
     /// Delay the `nth` (0-based) message on the `from → to` link.
-    DelayP2p { from: usize, to: usize, nth: u64, delay: Duration },
+    DelayP2p {
+        from: usize,
+        to: usize,
+        nth: u64,
+        delay: Duration,
+    },
     /// Drop the `nth` (0-based) message on the `from → to` link.
     DropP2p { from: usize, to: usize, nth: u64 },
 }
@@ -282,7 +320,12 @@ impl FaultPlan {
     /// Delay the `nth` (0-based) point-to-point message sent on the
     /// `from → to` link by `delay`.
     pub fn delay_p2p(mut self, from: usize, to: usize, nth: u64, delay: Duration) -> FaultPlan {
-        self.faults.push(Fault::DelayP2p { from, to, nth, delay });
+        self.faults.push(Fault::DelayP2p {
+            from,
+            to,
+            nth,
+            delay,
+        });
         self
     }
 
@@ -300,24 +343,31 @@ impl FaultPlan {
 
     /// Should `rank` die when starting its `op_index`-th (0-based) op?
     pub(crate) fn should_kill(&self, rank: usize, op_index: u64) -> bool {
-        self.faults.iter().any(|f| matches!(
-            f,
-            Fault::KillRank { rank: r, at_op } if *r == rank && *at_op == op_index
-        ))
+        self.faults.iter().any(|f| {
+            matches!(
+                f,
+                Fault::KillRank { rank: r, at_op } if *r == rank && *at_op == op_index
+            )
+        })
     }
 
     /// Action for the `nth` (0-based) message on the `from → to` link.
     pub(crate) fn p2p_action(&self, from: usize, to: usize, nth: u64) -> P2pAction {
         for f in &self.faults {
             match f {
-                Fault::DropP2p { from: ff, to: tt, nth: n }
-                    if *ff == from && *tt == to && *n == nth =>
-                {
+                Fault::DropP2p {
+                    from: ff,
+                    to: tt,
+                    nth: n,
+                } if *ff == from && *tt == to && *n == nth => {
                     return P2pAction::Drop;
                 }
-                Fault::DelayP2p { from: ff, to: tt, nth: n, delay }
-                    if *ff == from && *tt == to && *n == nth =>
-                {
+                Fault::DelayP2p {
+                    from: ff,
+                    to: tt,
+                    nth: n,
+                    delay,
+                } if *ff == from && *tt == to && *n == nth => {
                     return P2pAction::Delay(*delay);
                 }
                 _ => {}
@@ -346,7 +396,10 @@ mod tests {
             .delay_p2p(1, 0, 0, Duration::from_millis(1));
         assert_eq!(plan.p2p_action(0, 1, 2), P2pAction::Drop);
         assert_eq!(plan.p2p_action(0, 1, 1), P2pAction::Deliver);
-        assert_eq!(plan.p2p_action(1, 0, 0), P2pAction::Delay(Duration::from_millis(1)));
+        assert_eq!(
+            plan.p2p_action(1, 0, 0),
+            P2pAction::Delay(Duration::from_millis(1))
+        );
         assert_eq!(plan.p2p_action(1, 1, 0), P2pAction::Deliver);
     }
 
@@ -381,12 +434,22 @@ mod tests {
     #[test]
     fn error_display_includes_rank_states() {
         let err = CommError {
-            kind: CommErrorKind::Timeout { timeout: Duration::from_secs(1) },
+            kind: CommErrorKind::Timeout {
+                timeout: Duration::from_secs(1),
+            },
             rank: 0,
             op: Some(OpKind::AllreduceSum),
             rank_states: vec![
-                RankOpState { ops_started: 3, last_op: Some(OpKind::AllreduceSum), in_op: true },
-                RankOpState { ops_started: 1, last_op: Some(OpKind::Barrier), in_op: false },
+                RankOpState {
+                    ops_started: 3,
+                    last_op: Some(OpKind::AllreduceSum),
+                    in_op: true,
+                },
+                RankOpState {
+                    ops_started: 1,
+                    last_op: Some(OpKind::Barrier),
+                    in_op: false,
+                },
             ],
         };
         let s = err.to_string();

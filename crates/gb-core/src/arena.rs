@@ -65,6 +65,76 @@ impl ChunkSlot {
     }
 }
 
+/// Superstep checkpoint of the distributed pipeline: the state at the last
+/// completed phase boundary, kept in the [`Workspace`] so a self-healing
+/// replay (`SimCluster::with_recovery`) restarts the rank program there
+/// instead of recomputing every phase. Two boundaries are recorded:
+///
+/// * `step == 3` — the combined integral accumulator (the partial-integral
+///   slots after the allreduce / sparse exchange) plus the work billed so
+///   far;
+/// * `step == 5` — additionally the full tree-order Born radii exactly as
+///   the allgatherv delivered them, so a restart reproduces steps 6–7
+///   `to_bits()`-identically.
+///
+/// `step == 0` means "no checkpoint". The buffers are arenas like any
+/// other workspace member: cleared and refilled in place, counted by
+/// [`Workspace::memory_bytes`], never shrunk.
+pub struct SuperstepCheckpoint {
+    /// Deepest completed pipeline step (0 = none, 3 or 5).
+    pub step: u8,
+    /// Flat image of the combined integral accumulator (`step >= 3`).
+    pub flat: Vec<f64>,
+    /// Full tree-order Born radii (`step >= 5`).
+    pub radii_tree: Vec<f64>,
+    /// Ledger work units billed up to the checkpoint; re-billed on restore
+    /// so a recovered run's accounting stays comparable to a fault-free
+    /// run's.
+    pub work: f64,
+    /// Run-shape guard: atom count the checkpoint was taken for.
+    pub atoms: usize,
+    /// Run-shape guard: `T_A` node count.
+    pub nodes: usize,
+    /// Run-shape guard: rank count.
+    pub ranks: usize,
+}
+
+impl SuperstepCheckpoint {
+    fn new() -> SuperstepCheckpoint {
+        SuperstepCheckpoint {
+            step: 0,
+            flat: Vec::new(),
+            radii_tree: Vec::new(),
+            work: 0.0,
+            atoms: 0,
+            nodes: 0,
+            ranks: 0,
+        }
+    }
+
+    /// Discards the checkpoint (buffers keep their capacity). Called at
+    /// the start of every *fresh* run attempt so a replay can only ever
+    /// restore state from an earlier attempt of the same run.
+    pub fn invalidate(&mut self) {
+        self.step = 0;
+    }
+
+    /// The deepest completed step this checkpoint can restore for a run of
+    /// the given shape (0 when the shape does not match — e.g. a reused
+    /// workspace whose last run had a different system or rank count).
+    pub fn valid_step(&self, atoms: usize, nodes: usize, ranks: usize) -> u8 {
+        if self.atoms == atoms && self.nodes == nodes && self.ranks == ranks {
+            self.step
+        } else {
+            0
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (self.flat.capacity() + self.radii_tree.capacity()) * std::mem::size_of::<f64>()
+    }
+}
+
 /// Result of a workspace-backed pipeline step. The Born radii stay in the
 /// workspace (`radii_out`, original atom order) so the steady-state step
 /// returns only scalars.
@@ -120,6 +190,9 @@ pub struct Workspace {
     pub owned_vals: Vec<f64>,
     /// Per-producer staging buffer of the chunked sparse reduce.
     pub reduce_buf: Vec<f64>,
+    /// Superstep checkpoint of the distributed pipeline (recovery restart
+    /// state; `step == 0` outside self-healing runs).
+    pub checkpoint: SuperstepCheckpoint,
     /// Whether this workspace's rank already billed the replicated-memory
     /// footprint — replication is a property of the resident arenas, so it
     /// is charged once per workspace lifetime, not once per superstep.
@@ -152,6 +225,7 @@ impl Workspace {
             plan: CommPlan::new(),
             owned_vals: Vec::new(),
             reduce_buf: Vec::new(),
+            checkpoint: SuperstepCheckpoint::new(),
             replicated_billed: false,
             build_tasks: 1,
         }
@@ -188,11 +262,15 @@ impl Workspace {
                 + self.atom_ranges.capacity()
                 + self.leaf_ranges.capacity())
                 * std::mem::size_of::<Range<usize>>()
-            + self.slots.iter().map(|s| s.lock().memory_bytes()).sum::<usize>()
+            + self
+                .slots
+                .iter()
+                .map(|s| s.lock().memory_bytes())
+                .sum::<usize>()
             + self.slots.capacity() * std::mem::size_of::<Mutex<ChunkSlot>>()
             + self.plan.memory_bytes()
-            + (self.owned_vals.capacity() + self.reduce_buf.capacity())
-                * std::mem::size_of::<f64>()
+            + (self.owned_vals.capacity() + self.reduce_buf.capacity()) * std::mem::size_of::<f64>()
+            + self.checkpoint.memory_bytes()
     }
 }
 
@@ -223,7 +301,10 @@ mod tests {
         for _ in 0..2 {
             // twice: the second pass runs over warmed buffers
             let out = run_serial_ws(&s, &mut ws);
-            assert_eq!(plain.result.energy_kcal.to_bits(), out.energy_kcal.to_bits());
+            assert_eq!(
+                plain.result.energy_kcal.to_bits(),
+                out.energy_kcal.to_bits()
+            );
             assert_eq!(plain.born_work.to_bits(), out.born_work.to_bits());
             assert_eq!(plain.energy_work.to_bits(), out.energy_work.to_bits());
             for (a, b) in plain.result.born_radii.iter().zip(&ws.radii_out) {
@@ -239,7 +320,11 @@ mod tests {
             let s = sys(n);
             let plain = run_serial(&s);
             let out = run_serial_ws(&s, &mut ws);
-            assert_eq!(plain.result.energy_kcal.to_bits(), out.energy_kcal.to_bits(), "n={n}");
+            assert_eq!(
+                plain.result.energy_kcal.to_bits(),
+                out.energy_kcal.to_bits(),
+                "n={n}"
+            );
             assert_eq!(ws.radii_out.len(), n);
         }
     }
@@ -265,7 +350,10 @@ mod tests {
         let cold = ws.memory_bytes();
         run_serial_ws(&s, &mut ws);
         let warm = ws.memory_bytes();
-        assert!(warm > cold, "warming must materialize arenas: {cold} -> {warm}");
+        assert!(
+            warm > cold,
+            "warming must materialize arenas: {cold} -> {warm}"
+        );
         // a second run must not grow the footprint
         run_serial_ws(&s, &mut ws);
         assert_eq!(ws.memory_bytes(), warm);

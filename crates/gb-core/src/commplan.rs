@@ -181,6 +181,17 @@ impl CommPlan {
         owner_interval(self.num_slots, self.p, o)
     }
 
+    /// The manifest of rank `r`'s produced slots toward owner `o`: the
+    /// contiguous index subrange of [`produced`](CommPlan::produced)`(r)`
+    /// falling inside [`owned`](CommPlan::owned)`(o)`. Because the plan is
+    /// replicated, *any* rank can derive *any* (producer, owner) manifest
+    /// with no communication — which is what lets a recovery replay
+    /// re-ship exactly the failed attempt's produced∩owned values instead
+    /// of re-negotiating them.
+    pub fn produced_owned(&self, r: usize, o: usize) -> Range<usize> {
+        manifest_range(&self.produced[r], &self.owned(o))
+    }
+
     /// Derives (or reuses) the full producer/consumer plan of a
     /// node-division run: producers from the Born lists' per-ordinal
     /// touch sets over `seg_ranges`, consumers from the push traversal's
@@ -257,7 +268,9 @@ impl CommPlan {
             let chunk_of = &mut self.chunk_of[r];
             chunk_of.clear();
             chunk_of.extend(
-                produced.iter().map(|&s| (self.mark[s as usize] - base_epoch - 1) as u8),
+                produced
+                    .iter()
+                    .map(|&s| (self.mark[s as usize] - base_epoch - 1) as u8),
             );
         }
         self.mark_epoch += (p * chunks) as u64;
@@ -325,9 +338,9 @@ impl CommPlan {
                 }
                 consumed.sort_unstable();
             }
-            consumed.extend((self.num_nodes + range.start..self.num_nodes + range.end).map(
-                |s| s as u32,
-            ));
+            consumed.extend(
+                (self.num_nodes + range.start..self.num_nodes + range.end).map(|s| s as u32),
+            );
         }
     }
 
@@ -391,12 +404,47 @@ mod tests {
     }
 
     #[test]
+    fn produced_owned_tiles_each_producer_list() {
+        let s = sys(400);
+        let p = 4;
+        let mut ws = Workspace::new();
+        ws.born.rebuild(&s, 1, &mut ws.born_scratch);
+        work_balanced_segments_into(ws.born.leaf_work(), p, &mut ws.seg_ranges);
+        let atom_ranges = even_ranges(s.num_atoms(), p);
+        let mut plan = CommPlan::new();
+        plan.ensure_node_node(&s, &ws.born, &ws.seg_ranges, &atom_ranges, 4);
+        for r in 0..p {
+            let mut next = 0;
+            for o in 0..p {
+                let m = plan.produced_owned(r, o);
+                assert_eq!(
+                    m.start, next,
+                    "manifests must tile produced({r}) in owner order"
+                );
+                next = m.end;
+                let owned = plan.owned(o);
+                for &slot in &plan.produced(r)[m] {
+                    assert!(
+                        owned.contains(&(slot as usize)),
+                        "rank {r} owner {o} slot {slot}"
+                    );
+                }
+            }
+            assert_eq!(next, plan.produced(r).len());
+        }
+    }
+
+    #[test]
     fn chunk_of_index_matches_even_ranges() {
         for (len, chunks) in [(10usize, 4usize), (3, 4), (16, 4), (1, 1), (7, 3)] {
             let ranges = even_ranges(len, chunks);
             for (k, r) in ranges.iter().enumerate() {
                 for i in r.clone() {
-                    assert_eq!(chunk_of_index(len, chunks, i), k, "len={len} chunks={chunks}");
+                    assert_eq!(
+                        chunk_of_index(len, chunks, i),
+                        k,
+                        "len={len} chunks={chunks}"
+                    );
                 }
             }
         }
@@ -417,7 +465,8 @@ mod tests {
         assert!(plan.ensure_node_node(&s, &ws.born, &ws.seg_ranges, &atom_ranges, 4));
         for r in 0..p {
             let mut acc = IntegralAcc::zeros(&s);
-            ws.born.execute_range::<ExactMath, R6>(&s, ws.seg_ranges[r].clone(), &mut acc);
+            ws.born
+                .execute_range::<ExactMath, R6>(&s, ws.seg_ranges[r].clone(), &mut acc);
             let flat = acc.to_flat();
             let produced = plan.produced(r);
             for (slot, v) in flat.iter().enumerate() {
@@ -465,13 +514,29 @@ mod tests {
         work_balanced_segments_into(ws.born.leaf_work(), 4, &mut ws.seg_ranges);
         let atom4 = even_ranges(s.num_atoms(), 4);
         let mut plan = CommPlan::new();
-        assert!(plan.ensure_node_node(&s, &ws.born, &ws.seg_ranges, &atom4, 4), "cold miss");
-        assert!(!plan.ensure_node_node(&s, &ws.born, &ws.seg_ranges, &atom4, 4), "warm hit");
+        assert!(
+            plan.ensure_node_node(&s, &ws.born, &ws.seg_ranges, &atom4, 4),
+            "cold miss"
+        );
+        assert!(
+            !plan.ensure_node_node(&s, &ws.born, &ws.seg_ranges, &atom4, 4),
+            "warm hit"
+        );
         let snapshot: Vec<Vec<u32>> = (0..4).map(|r| plan.produced(r).to_vec()).collect();
-        assert!(plan.ensure_node_node(&s, &ws.born, &ws.seg_ranges, &atom4, 2), "chunks miss");
-        assert!(plan.ensure_node_node(&s, &ws.born, &ws.seg_ranges, &atom4, 4), "back miss");
+        assert!(
+            plan.ensure_node_node(&s, &ws.born, &ws.seg_ranges, &atom4, 2),
+            "chunks miss"
+        );
+        assert!(
+            plan.ensure_node_node(&s, &ws.born, &ws.seg_ranges, &atom4, 4),
+            "back miss"
+        );
         for r in 0..4 {
-            assert_eq!(snapshot[r], plan.produced(r), "rebuild must be deterministic");
+            assert_eq!(
+                snapshot[r],
+                plan.produced(r),
+                "rebuild must be deterministic"
+            );
         }
         // a different division is a different key
         let mut seg2 = ws.seg_ranges.clone();

@@ -57,7 +57,14 @@ pub fn modeled_run(
     threads_per_rank: usize,
     division: WorkDivision,
 ) -> ModeledOutcome {
-    modeled_run_balanced(sys, cluster, ranks, threads_per_rank, division, LoadBalance::EvenLeaves)
+    modeled_run_balanced(
+        sys,
+        cluster,
+        ranks,
+        threads_per_rank,
+        division,
+        LoadBalance::EvenLeaves,
+    )
 }
 
 /// [`modeled_run`] with an explicit cross-rank load-balancing policy
@@ -104,8 +111,12 @@ fn modeled_run_impl<M: MathMode, K: RadiiApprox>(
             let born = BornLists::build(sys);
             born.execute_range::<M, K>(sys, 0..born.num_qleaves(), &mut acc);
             let leaf_works = born.leaf_work().to_vec();
-            let leaf_points: Vec<usize> =
-                sys.tq.leaves().iter().map(|&q| sys.tq.node(q).count()).collect();
+            let leaf_points: Vec<usize> = sys
+                .tq
+                .leaves()
+                .iter()
+                .map(|&q| sys.tq.node(q).count())
+                .collect();
             // a migrated quadrature leaf ships position+normal+weight = 7 words/point
             let a = assign(policy, &leaf_works, &leaf_points, ranks, cost, level, 7);
             for (rank, ledger) in ledgers.iter_mut().enumerate() {
@@ -147,17 +158,28 @@ fn modeled_run_impl<M: MathMode, K: RadiiApprox>(
 
     // ---- Step 3: allreduce of the integral vector.
     for ledger in &mut ledgers {
-        ledger.add_comm(cost.allreduce(level, ranks, svec_words), (svec_words * 8) as u64);
+        ledger.add_comm(
+            cost.allreduce(level, ranks, svec_words),
+            (svec_words * 8) as u64,
+        );
     }
 
     // ---- Step 4: push per atom segment (sub-split across threads).
     let mut radii_tree = vec![0.0; sys.num_atoms()];
-    for (rank, seg) in atom_segments(sys.num_atoms(), ranks).into_iter().enumerate() {
+    for (rank, seg) in atom_segments(sys.num_atoms(), ranks)
+        .into_iter()
+        .enumerate()
+    {
         let subs = crate::workdiv::even_ranges(seg.len(), threads_per_rank);
         let mut sub_works = Vec::with_capacity(subs.len());
         for sub in subs {
             let range = seg.start + sub.start..seg.start + sub.end;
-            sub_works.push(push_integrals_to_atoms::<K>(sys, &acc, range, &mut radii_tree));
+            sub_works.push(push_integrals_to_atoms::<K>(
+                sys,
+                &acc,
+                range,
+                &mut radii_tree,
+            ));
         }
         ledgers[rank].add_work(makespan(&sub_works, threads_per_rank));
     }
@@ -165,8 +187,10 @@ fn modeled_run_impl<M: MathMode, K: RadiiApprox>(
     // ---- Step 5: allgather radii.
     let per_rank_words = sys.num_atoms() / ranks.max(1) + 1;
     for ledger in &mut ledgers {
-        ledger
-            .add_comm(cost.allgather(level, ranks, per_rank_words), (per_rank_words * 8) as u64);
+        ledger.add_comm(
+            cost.allgather(level, ranks, per_rank_words),
+            (per_rank_words * 8) as u64,
+        );
     }
 
     // ---- Step 6: energy per T_A leaf segment (same policy as the Born
@@ -183,15 +207,18 @@ fn modeled_run_impl<M: MathMode, K: RadiiApprox>(
             raw += r;
             leaf_works.push(w);
         }
-        let leaf_points: Vec<usize> =
-            sys.ta.leaves().iter().map(|&v| sys.ta.node(v).count()).collect();
+        let leaf_points: Vec<usize> = sys
+            .ta
+            .leaves()
+            .iter()
+            .map(|&v| sys.ta.node(v).count())
+            .collect();
         let a = assign(policy, &leaf_works, &leaf_points, ranks, cost, level, 5);
         for (rank, ledger) in ledgers.iter_mut().enumerate() {
             ledger.add_work(bin_build_work(sys) / threads_per_rank as f64);
             ledger.add_work(energy.build_work / threads_per_rank as f64);
-            ledger.add_work(
-                (a.rank_work[rank] / threads_per_rank as f64).max(a.rank_max_task[rank]),
-            );
+            ledger
+                .add_work((a.rank_work[rank] / threads_per_rank as f64).max(a.rank_max_task[rank]));
             if a.migration_seconds > 0.0 {
                 ledger.add_comm(a.migration_seconds, 0);
             }
@@ -208,10 +235,17 @@ fn modeled_run_impl<M: MathMode, K: RadiiApprox>(
     }
 
     let energy_kcal = finalize_energy(raw, sys.params.tau());
-    let report =
-        RunReport { ledgers, placements, wall_seconds: start.elapsed().as_secs_f64() };
+    let report = RunReport {
+        ledgers,
+        placements,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        recoveries: 0,
+    };
     ModeledOutcome {
-        result: GbResult { energy_kcal, born_radii: sys.radii_to_original(&radii_tree) },
+        result: GbResult {
+            energy_kcal,
+            born_radii: sys.radii_to_original(&radii_tree),
+        },
         report,
     }
 }
@@ -234,8 +268,13 @@ mod tests {
         let s = sys(400);
         let serial = run_serial(&s).result;
         for (ranks, tpr) in [(1usize, 1usize), (4, 1), (2, 6), (12, 1)] {
-            let out =
-                modeled_run(&s, &SimCluster::single_node(), ranks, tpr, WorkDivision::NodeNode);
+            let out = modeled_run(
+                &s,
+                &SimCluster::single_node(),
+                ranks,
+                tpr,
+                WorkDivision::NodeNode,
+            );
             assert!(
                 (out.result.energy_kcal - serial.energy_kcal).abs()
                     < 1e-9 * serial.energy_kcal.abs(),
@@ -257,8 +296,7 @@ mod tests {
         let (dist, dist_report) = run_distributed(&s, &cluster, 4, WorkDivision::NodeNode);
         let modeled = modeled_run(&s, &cluster, 4, 1, WorkDivision::NodeNode);
         assert!(
-            (dist.energy_kcal - modeled.result.energy_kcal).abs()
-                < 1e-9 * dist.energy_kcal.abs()
+            (dist.energy_kcal - modeled.result.energy_kcal).abs() < 1e-9 * dist.energy_kcal.abs()
         );
         let dist_work: f64 = dist_report.ledgers.iter().map(|l| l.work_units).sum();
         let modeled_work: f64 = modeled.report.ledgers.iter().map(|l| l.work_units).sum();
@@ -278,7 +316,10 @@ mod tests {
             let cluster = SimCluster::lonestar4(nodes);
             let out = modeled_run(&s, &cluster, nodes * 12, 1, WorkDivision::NodeNode);
             let t = out.modeled_seconds(&cost);
-            assert!(t < last, "modeled time should drop: {t} !< {last} at {nodes} nodes");
+            assert!(
+                t < last,
+                "modeled time should drop: {t} !< {last} at {nodes} nodes"
+            );
             last = t;
         }
     }

@@ -30,7 +30,9 @@ use crate::fastmath::{ApproxMath, ExactMath, MathMode};
 use crate::gbmath::{finalize_energy, RadiiApprox, R4, R6};
 use crate::integrals::{push_integrals_scratch, IntegralAcc};
 use crate::params::{MathKind, RadiiKind};
-use crate::runners::sparse::{flat_get, publish_to_consumers, reduce_pairs_to_owners, OVERLAP_CHUNKS};
+use crate::runners::sparse::{
+    flat_get, publish_to_consumers, reduce_pairs_to_owners, reduce_to_owners_single, OVERLAP_CHUNKS,
+};
 use crate::runners::{bin_build_work, with_kernels};
 use crate::system::{GbResult, GbSystem};
 use crate::workdiv::{even_ranges_into, work_balanced_segments_into, WorkDivision};
@@ -95,7 +97,14 @@ pub fn try_run_distributed_ws(
     division: WorkDivision,
     workspaces: &[Mutex<Workspace>],
 ) -> Result<(GbResult, RunReport), GbError> {
-    try_run_distributed_ws_mode(sys, cluster, ranks, division, CommMode::default(), workspaces)
+    try_run_distributed_ws_mode(
+        sys,
+        cluster,
+        ranks,
+        division,
+        CommMode::default(),
+        workspaces,
+    )
 }
 
 /// [`try_run_distributed_ws`] with an explicit [`CommMode`]. On the
@@ -144,179 +153,252 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
     // Step 1: replicated data (shared read-only here; a real MPI process
     // would hold its own copy — the accounting reflects that). Replication
     // is a property of the resident arenas, so a reused workspace bills it
-    // once per lifetime, not once per superstep.
-    if !ws.replicated_billed {
+    // once per lifetime, not once per superstep — except on a recovery
+    // replay, whose ledger was reset by the heal and must re-bill it.
+    if !ws.replicated_billed || comm.attempt() > 0 {
         comm.record_replicated(sys.memory_bytes() as u64);
         ws.replicated_billed = true;
     }
 
+    // Recovery restart negotiation. A *fresh* attempt invalidates any
+    // checkpoint a reused workspace may carry (a replay must only restore
+    // state from an earlier attempt of this same run); a replay restarts
+    // from the deepest superstep boundary *every* rank completed — the
+    // team-wide minimum, taken as an allreduce-max of the negated step.
+    // Fault-free runs never reach this collective, so their op stream is
+    // byte-for-byte the legacy one.
+    if comm.attempt() == 0 {
+        ws.checkpoint.invalidate();
+    }
+    let restart_step = if comm.attempt() > 0 {
+        let mine = ws
+            .checkpoint
+            .valid_step(sys.num_atoms(), sys.ta.num_nodes(), p);
+        let mut neg = [-(f64::from(mine))];
+        comm.try_allreduce_max(&mut neg)?;
+        (-neg[0]) as u8
+    } else {
+        0
+    };
+
     // Steps 2–3: partial integrals for this rank's share, combined either
-    // densely (full allreduce) or through the communication plan.
+    // densely (full allreduce) or through the communication plan. A replay
+    // restarting at (or past) this boundary restores the combined
+    // accumulator from the checkpoint instead.
     ws.acc.reset_for(sys);
     even_ranges_into(sys.num_atoms(), p, &mut ws.atom_ranges);
     let mut work = 0.0;
-    match division {
-        WorkDivision::NodeNode => {
-            // Replicated preprocessing: every rank performs the same dual-tree
-            // walk (like the bin build), so segments agree without
-            // communication, and ranks are cut by *measured* list work.
-            ws.born.rebuild(sys, ws.build_tasks, &mut ws.born_scratch);
-            work += ws.born.build_work;
-            work_balanced_segments_into(ws.born.leaf_work(), p, &mut ws.seg_ranges);
-            let seg = ws.seg_ranges[rank].clone();
-            if p > 1 && mode == CommMode::Sparse {
-                // Overlap pipeline: execute the segment in chunks; a slot's
-                // value is final once its *last*-writing chunk (the plan's
-                // `chunk_of` label) completes, so each chunk's finalized
-                // manifest values ship as nonblocking sends while the next
-                // chunk computes.
-                ws.plan.ensure_node_node(
-                    sys,
-                    &ws.born,
-                    &ws.seg_ranges,
-                    &ws.atom_ranges,
-                    OVERLAP_CHUNKS,
-                );
-                let chunks = ws.plan.chunks;
-                let mut handles: Vec<SendHandle> = Vec::new();
-                for k in 0..chunks {
-                    let sub = owner_interval(seg.len(), chunks, k);
-                    work += ws.born.execute_range::<M, K>(
+    if restart_step >= 3 {
+        if restart_step < 5 {
+            ws.acc.copy_from_flat(&ws.checkpoint.flat);
+        }
+        comm.record_work(ws.checkpoint.work);
+    } else {
+        match division {
+            WorkDivision::NodeNode => {
+                // Replicated preprocessing: every rank performs the same dual-tree
+                // walk (like the bin build), so segments agree without
+                // communication, and ranks are cut by *measured* list work.
+                ws.born.rebuild(sys, ws.build_tasks, &mut ws.born_scratch);
+                work += ws.born.build_work;
+                work_balanced_segments_into(ws.born.leaf_work(), p, &mut ws.seg_ranges);
+                let seg = ws.seg_ranges[rank].clone();
+                if p > 1 && mode == CommMode::Sparse {
+                    // Overlap pipeline: execute the segment in chunks; a slot's
+                    // value is final once its *last*-writing chunk (the plan's
+                    // `chunk_of` label) completes, so each chunk's finalized
+                    // manifest values ship as nonblocking sends while the next
+                    // chunk computes.
+                    ws.plan.ensure_node_node(
                         sys,
-                        seg.start + sub.start..seg.start + sub.end,
-                        &mut ws.acc,
+                        &ws.born,
+                        &ws.seg_ranges,
+                        &ws.atom_ranges,
+                        OVERLAP_CHUNKS,
                     );
-                    let produced_me = ws.plan.produced(rank);
-                    let chunk_of = ws.plan.chunk_of(rank);
-                    for o in 0..p {
-                        if o == rank {
-                            continue;
-                        }
-                        let m = manifest_range(produced_me, &ws.plan.owned(o));
-                        if m.is_empty() {
-                            continue;
-                        }
-                        let payload: Vec<f64> = m
-                            .filter(|&i| chunk_of[i] as usize == k)
-                            .map(|i| flat_get(&ws.acc, ws.plan.num_nodes, produced_me[i] as usize))
-                            .collect();
-                        handles.push(comm.try_isend(o, payload)?);
-                    }
-                }
-                // Owner-side reduce: ascending rank order from +0.0 — the
-                // dense allreduce's exact summation order, so the owned
-                // values are bit-identical to the dense path's.
-                let interval = ws.plan.owned(rank);
-                ws.owned_vals.clear();
-                ws.owned_vals.resize(interval.len(), 0.0);
-                for r in 0..p {
-                    let m = manifest_range(ws.plan.produced(r), &interval);
-                    if m.is_empty() {
-                        continue;
-                    }
-                    if r == rank {
-                        for &s in &ws.plan.produced(r)[m] {
-                            ws.owned_vals[s as usize - interval.start] +=
-                                flat_get(&ws.acc, ws.plan.num_nodes, s as usize);
-                        }
+                    if comm.attempt() > 0 {
+                        // Recovery replay: skip the overlap pipeline and re-ship
+                        // the replicated plan's produced∩owned manifests in one
+                        // staged exchange. Same slots, same ascending-rank
+                        // summation from +0.0 — the owned values (and everything
+                        // downstream) stay bit-identical to the pipeline's.
+                        work += ws.born.execute_range::<M, K>(sys, seg, &mut ws.acc);
+                        reduce_to_owners_single(comm, &ws.plan, &ws.acc, &mut ws.owned_vals)?;
+                        publish_to_consumers(comm, &ws.plan, &ws.owned_vals, &mut ws.acc)?;
                     } else {
-                        // per-pair channels are FIFO, so the producer's k-th
-                        // message is its chunk-k manifest segment
-                        let slots = &ws.plan.produced(r)[m.clone()];
-                        let chunk_of = &ws.plan.chunk_of(r)[m];
-                        ws.reduce_buf.clear();
-                        ws.reduce_buf.resize(slots.len(), 0.0);
+                        let chunks = ws.plan.chunks;
+                        let mut handles: Vec<SendHandle> = Vec::new();
                         for k in 0..chunks {
-                            let handle = comm.try_irecv(r)?;
-                            let msg = comm.try_wait_recv(handle)?;
-                            let mut cursor = 0usize;
-                            for (j, &ck) in chunk_of.iter().enumerate() {
-                                if ck as usize == k {
-                                    ws.reduce_buf[j] = msg[cursor];
-                                    cursor += 1;
+                            let sub = owner_interval(seg.len(), chunks, k);
+                            work += ws.born.execute_range::<M, K>(
+                                sys,
+                                seg.start + sub.start..seg.start + sub.end,
+                                &mut ws.acc,
+                            );
+                            let produced_me = ws.plan.produced(rank);
+                            let chunk_of = ws.plan.chunk_of(rank);
+                            for o in 0..p {
+                                if o == rank {
+                                    continue;
+                                }
+                                let m = manifest_range(produced_me, &ws.plan.owned(o));
+                                if m.is_empty() {
+                                    continue;
+                                }
+                                let payload: Vec<f64> = m
+                                    .filter(|&i| chunk_of[i] as usize == k)
+                                    .map(|i| {
+                                        flat_get(
+                                            &ws.acc,
+                                            ws.plan.num_nodes,
+                                            produced_me[i] as usize,
+                                        )
+                                    })
+                                    .collect();
+                                handles.push(comm.try_isend(o, payload)?);
+                            }
+                        }
+                        // Owner-side reduce: ascending rank order from +0.0 — the
+                        // dense allreduce's exact summation order, so the owned
+                        // values are bit-identical to the dense path's.
+                        let interval = ws.plan.owned(rank);
+                        ws.owned_vals.clear();
+                        ws.owned_vals.resize(interval.len(), 0.0);
+                        for r in 0..p {
+                            let m = manifest_range(ws.plan.produced(r), &interval);
+                            if m.is_empty() {
+                                continue;
+                            }
+                            if r == rank {
+                                for &s in &ws.plan.produced(r)[m] {
+                                    ws.owned_vals[s as usize - interval.start] +=
+                                        flat_get(&ws.acc, ws.plan.num_nodes, s as usize);
+                                }
+                            } else {
+                                // per-pair channels are FIFO, so the producer's k-th
+                                // message is its chunk-k manifest segment
+                                let slots = &ws.plan.produced(r)[m.clone()];
+                                let chunk_of = &ws.plan.chunk_of(r)[m];
+                                ws.reduce_buf.clear();
+                                ws.reduce_buf.resize(slots.len(), 0.0);
+                                for k in 0..chunks {
+                                    let handle = comm.try_irecv(r)?;
+                                    let msg = comm.try_wait_recv(handle)?;
+                                    let mut cursor = 0usize;
+                                    for (j, &ck) in chunk_of.iter().enumerate() {
+                                        if ck as usize == k {
+                                            ws.reduce_buf[j] = msg[cursor];
+                                            cursor += 1;
+                                        }
+                                    }
+                                    debug_assert_eq!(cursor, msg.len());
+                                }
+                                for (j, &s) in slots.iter().enumerate() {
+                                    ws.owned_vals[s as usize - interval.start] += ws.reduce_buf[j];
                                 }
                             }
-                            debug_assert_eq!(cursor, msg.len());
                         }
-                        for (j, &s) in slots.iter().enumerate() {
-                            ws.owned_vals[s as usize - interval.start] += ws.reduce_buf[j];
+                        for handle in handles {
+                            comm.try_wait_send(handle)?;
                         }
+                        publish_to_consumers(comm, &ws.plan, &ws.owned_vals, &mut ws.acc)?;
                     }
-                }
-                for handle in handles {
-                    comm.try_wait_send(handle)?;
-                }
-                publish_to_consumers(comm, &ws.plan, &ws.owned_vals, &mut ws.acc)?;
-            } else {
-                work += ws.born.execute_range::<M, K>(sys, seg, &mut ws.acc);
-                if p > 1 {
-                    ws.acc.to_flat_into(&mut ws.flat);
-                    comm.try_allreduce_sum(&mut ws.flat)?;
-                    ws.acc.copy_from_flat(&ws.flat);
-                }
-            }
-        }
-        WorkDivision::AtomNode => {
-            // Atom-based division: every rank processes *all* T_Q leaves but
-            // clips the T_A traversal to its atom range (see
-            // `accumulate_qleaf_clipped`): far-field terms are only taken at
-            // nodes wholly inside the range, so range boundaries change the
-            // approximation pattern — the P-dependent-error effect the paper
-            // reports for atom-based division.
-            let range = ws.atom_ranges[rank].clone();
-            for &q in sys.tq.leaves() {
-                work += accumulate_qleaf_clipped::<M, K>(
-                    sys,
-                    q,
-                    range.clone(),
-                    &mut ws.acc,
-                    &mut ws.node_stack,
-                );
-            }
-            if p > 1 {
-                match mode {
-                    CommMode::Dense => {
+                } else {
+                    work += ws.born.execute_range::<M, K>(sys, seg, &mut ws.acc);
+                    if p > 1 {
                         ws.acc.to_flat_into(&mut ws.flat);
                         comm.try_allreduce_sum(&mut ws.flat)?;
                         ws.acc.copy_from_flat(&ws.flat);
                     }
-                    CommMode::Sparse => {
-                        // clipped-traversal producer sets are not statically
-                        // derivable from the lists, so stage 1 ships
-                        // (slot, value) pairs found by a non-zero-bits scan
-                        ws.plan.ensure_consumers(sys, &ws.atom_ranges);
-                        reduce_pairs_to_owners(
-                            comm,
-                            ws.plan.num_slots,
-                            ws.plan.num_nodes,
-                            &ws.acc,
-                            &mut ws.owned_vals,
-                        )?;
-                        publish_to_consumers(comm, &ws.plan, &ws.owned_vals, &mut ws.acc)?;
+                }
+            }
+            WorkDivision::AtomNode => {
+                // Atom-based division: every rank processes *all* T_Q leaves but
+                // clips the T_A traversal to its atom range (see
+                // `accumulate_qleaf_clipped`): far-field terms are only taken at
+                // nodes wholly inside the range, so range boundaries change the
+                // approximation pattern — the P-dependent-error effect the paper
+                // reports for atom-based division.
+                let range = ws.atom_ranges[rank].clone();
+                for &q in sys.tq.leaves() {
+                    work += accumulate_qleaf_clipped::<M, K>(
+                        sys,
+                        q,
+                        range.clone(),
+                        &mut ws.acc,
+                        &mut ws.node_stack,
+                    );
+                }
+                if p > 1 {
+                    match mode {
+                        CommMode::Dense => {
+                            ws.acc.to_flat_into(&mut ws.flat);
+                            comm.try_allreduce_sum(&mut ws.flat)?;
+                            ws.acc.copy_from_flat(&ws.flat);
+                        }
+                        CommMode::Sparse => {
+                            // clipped-traversal producer sets are not statically
+                            // derivable from the lists, so stage 1 ships
+                            // (slot, value) pairs found by a non-zero-bits scan
+                            ws.plan.ensure_consumers(sys, &ws.atom_ranges);
+                            reduce_pairs_to_owners(
+                                comm,
+                                ws.plan.num_slots,
+                                ws.plan.num_nodes,
+                                &ws.acc,
+                                &mut ws.owned_vals,
+                            )?;
+                            publish_to_consumers(comm, &ws.plan, &ws.owned_vals, &mut ws.acc)?;
+                        }
                     }
                 }
             }
         }
+        comm.record_work(work);
+        if comm.recovery_enabled() {
+            // Superstep boundary: the combined accumulator (as *this rank*
+            // sees it — on the sparse path only consumed slots are final,
+            // which is exactly what step 4 reads) plus the work billed so
+            // far. A replay that gets this far restores instead of recomputing.
+            ws.checkpoint.step = 3;
+            ws.checkpoint.atoms = sys.num_atoms();
+            ws.checkpoint.nodes = sys.ta.num_nodes();
+            ws.checkpoint.ranks = p;
+            ws.checkpoint.work = work;
+            ws.acc.to_flat_into(&mut ws.checkpoint.flat);
+        }
     }
-    comm.record_work(work);
 
-    // Step 4: Born radii for this rank's atom segment, written into a
-    // buffer sized for the segment alone (no full-length scratch).
-    let my_atoms = ws.atom_ranges[rank].clone();
-    ws.radii_tree.clear();
-    ws.radii_tree.resize(my_atoms.len(), 0.0);
-    let w = push_integrals_scratch::<M, K>(
-        sys,
-        &ws.acc,
-        my_atoms,
-        &mut ws.radii_tree,
-        &mut ws.push_stack,
-    );
-    comm.record_work(w);
+    let radii_tree = if restart_step >= 5 {
+        // Steps 4–5 already completed on an earlier attempt: the full
+        // tree-order radii vector is exactly what the allgatherv delivered.
+        ws.checkpoint.radii_tree.clone()
+    } else {
+        // Step 4: Born radii for this rank's atom segment, written into a
+        // buffer sized for the segment alone (no full-length scratch).
+        let my_atoms = ws.atom_ranges[rank].clone();
+        ws.radii_tree.clear();
+        ws.radii_tree.resize(my_atoms.len(), 0.0);
+        let w = push_integrals_scratch::<M, K>(
+            sys,
+            &ws.acc,
+            my_atoms,
+            &mut ws.radii_tree,
+            &mut ws.push_stack,
+        );
+        comm.record_work(w);
 
-    // Step 5: allgather radii (variable-length segments, rank order ==
-    // atom-segment order, so concatenation is the full tree-order vector).
-    let radii_tree = comm.try_allgatherv(&ws.radii_tree)?;
+        // Step 5: allgather radii (variable-length segments, rank order ==
+        // atom-segment order, so concatenation is the full tree-order vector).
+        let radii_tree = comm.try_allgatherv(&ws.radii_tree)?;
+        if comm.recovery_enabled() {
+            ws.checkpoint.step = 5;
+            ws.checkpoint.work += w;
+            ws.checkpoint.radii_tree.clear();
+            ws.checkpoint.radii_tree.extend_from_slice(&radii_tree);
+        }
+        radii_tree
+    };
     debug_assert_eq!(radii_tree.len(), sys.num_atoms());
 
     // Step 6: partial energy for this rank's T_A leaf segment. Bins are
@@ -327,15 +409,13 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
     comm.record_work(bin_build_work(sys));
     let (raw, w) = match division {
         WorkDivision::NodeNode => {
-            ws.energy.rebuild(sys, ws.build_tasks, &mut ws.energy_scratch);
+            ws.energy
+                .rebuild(sys, ws.build_tasks, &mut ws.energy_scratch);
             let costs = ws.energy.leaf_costs(sys, bins);
             work_balanced_segments_into(&costs, p, &mut ws.seg_ranges);
-            let (raw, exec) = ws.energy.execute_leaves::<M>(
-                sys,
-                bins,
-                &radii_tree,
-                ws.seg_ranges[rank].clone(),
-            );
+            let (raw, exec) =
+                ws.energy
+                    .execute_leaves::<M>(sys, bins, &radii_tree, ws.seg_ranges[rank].clone());
             (raw, ws.energy.build_work + exec)
         }
         WorkDivision::AtomNode => {
@@ -364,7 +444,10 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
     comm.try_allreduce_sum(&mut total)?;
     let energy_kcal = finalize_energy(total[0], sys.params.tau());
 
-    Ok(GbResult { energy_kcal, born_radii: sys.radii_to_original(&radii_tree) })
+    Ok(GbResult {
+        energy_kcal,
+        born_radii: sys.radii_to_original(&radii_tree),
+    })
 }
 
 /// Q-leaf traversal clipped to an atom range (atom-based division): only
@@ -396,8 +479,7 @@ pub(crate) fn accumulate_qleaf_clipped<M: MathMode, K: RadiiApprox>(
             continue;
         }
         work += TRAVERSAL_UNIT;
-        let fully_inside =
-            a.begin as usize >= range.start && a.end as usize <= range.end;
+        let fully_inside = a.begin as usize >= range.start && a.end as usize <= range.end;
         let d = a.centroid.dist(q_center);
         if fully_inside && well_separated(d, a.radius, q_radius, threshold) {
             let delta = q_center - a.centroid;
@@ -447,8 +529,7 @@ mod tests {
     fn single_rank_equals_serial() {
         let s = sys(400);
         let serial = run_serial(&s);
-        let (dist, _) =
-            run_distributed(&s, &SimCluster::single_node(), 1, WorkDivision::NodeNode);
+        let (dist, _) = run_distributed(&s, &SimCluster::single_node(), 1, WorkDivision::NodeNode);
         assert_eq!(serial.result.energy_kcal, dist.energy_kcal);
         assert_eq!(serial.result.born_radii, dist.born_radii);
     }
@@ -464,7 +545,11 @@ mod tests {
             let (r, _) =
                 try_run_distributed_ws(&s, &cluster, 3, WorkDivision::NodeNode, &workspaces)
                     .expect("fault-free");
-            assert_eq!(fresh.energy_kcal.to_bits(), r.energy_kcal.to_bits(), "pass {pass}");
+            assert_eq!(
+                fresh.energy_kcal.to_bits(),
+                r.energy_kcal.to_bits(),
+                "pass {pass}"
+            );
             assert_eq!(fresh.born_radii, r.born_radii, "pass {pass}");
         }
     }
@@ -476,7 +561,9 @@ mod tests {
         // does not depend on P.
         let s = sys(500);
         let cluster = SimCluster::single_node();
-        let baseline = run_distributed(&s, &cluster, 1, WorkDivision::NodeNode).0.energy_kcal;
+        let baseline = run_distributed(&s, &cluster, 1, WorkDivision::NodeNode)
+            .0
+            .energy_kcal;
         for p in [2usize, 3, 5, 8, 12] {
             let (r, _) = run_distributed(&s, &cluster, p, WorkDivision::NodeNode);
             assert!(
@@ -495,19 +582,26 @@ mod tests {
         let cluster = SimCluster::single_node();
         let energies: Vec<f64> = [1usize, 3, 5, 9]
             .iter()
-            .map(|&p| run_distributed(&s, &cluster, p, WorkDivision::AtomNode).0.energy_kcal)
+            .map(|&p| {
+                run_distributed(&s, &cluster, p, WorkDivision::AtomNode)
+                    .0
+                    .energy_kcal
+            })
             .collect();
-        let spread = (energies
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max)
+        let spread = (energies.iter().copied().fold(f64::NEG_INFINITY, f64::max)
             - energies.iter().copied().fold(f64::INFINITY, f64::min))
             / energies[0].abs();
-        assert!(spread > 1e-12, "atom-based energies did not vary: {energies:?}");
+        assert!(
+            spread > 1e-12,
+            "atom-based energies did not vary: {energies:?}"
+        );
         // ... but stays a sane approximation
         let serial = run_serial(&s).result.energy_kcal;
         for e in &energies {
-            assert!(((e - serial) / serial).abs() < 0.05, "{e} vs serial {serial}");
+            assert!(
+                ((e - serial) / serial).abs() < 0.05,
+                "{e} vs serial {serial}"
+            );
         }
     }
 
@@ -515,8 +609,12 @@ mod tests {
     fn radii_identical_across_rank_counts_node_division() {
         let s = sys(300);
         let cluster = SimCluster::single_node();
-        let base = run_distributed(&s, &cluster, 1, WorkDivision::NodeNode).0.born_radii;
-        let many = run_distributed(&s, &cluster, 6, WorkDivision::NodeNode).0.born_radii;
+        let base = run_distributed(&s, &cluster, 1, WorkDivision::NodeNode)
+            .0
+            .born_radii;
+        let many = run_distributed(&s, &cluster, 6, WorkDivision::NodeNode)
+            .0
+            .born_radii;
         // identical traversals; only the summation grouping differs (rank
         // partials reduced in rank order), so agreement is to round-off
         for (a, b) in base.iter().zip(&many) {
@@ -544,8 +642,8 @@ mod tests {
         // a rank killed mid-job must surface as GbError::Comm with
         // per-rank diagnostics, not a panic or a hang
         let s = sys(300);
-        let cluster = SimCluster::single_node()
-            .with_fault_plan(gb_cluster::FaultPlan::new().kill_rank(1, 0));
+        let cluster =
+            SimCluster::single_node().with_fault_plan(gb_cluster::FaultPlan::new().kill_rank(1, 0));
         let err = crate::runners::try_run_distributed(&s, &cluster, 4, WorkDivision::NodeNode)
             .expect_err("killed rank must fail the job");
         let crate::error::GbError::Comm(e) = &err;

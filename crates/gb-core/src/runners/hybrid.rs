@@ -49,7 +49,14 @@ pub fn try_run_hybrid(
     threads_per_rank: usize,
     division: WorkDivision,
 ) -> Result<(GbResult, RunReport), GbError> {
-    try_run_hybrid_mode(sys, cluster, ranks, threads_per_rank, division, CommMode::default())
+    try_run_hybrid_mode(
+        sys,
+        cluster,
+        ranks,
+        threads_per_rank,
+        division,
+        CommMode::default(),
+    )
 }
 
 /// [`try_run_hybrid`] with an explicit integral-combine mode (see
@@ -65,9 +72,18 @@ pub fn try_run_hybrid_mode(
     division: WorkDivision,
     mode: CommMode,
 ) -> Result<(GbResult, RunReport), GbError> {
-    let workspaces: Vec<Mutex<Workspace>> =
-        (0..ranks).map(|_| Mutex::new(Workspace::with_build_tasks(threads_per_rank))).collect();
-    try_run_hybrid_ws_mode(sys, cluster, ranks, threads_per_rank, division, mode, &workspaces)
+    let workspaces: Vec<Mutex<Workspace>> = (0..ranks)
+        .map(|_| Mutex::new(Workspace::with_build_tasks(threads_per_rank)))
+        .collect();
+    try_run_hybrid_ws_mode(
+        sys,
+        cluster,
+        ranks,
+        threads_per_rank,
+        division,
+        mode,
+        &workspaces,
+    )
 }
 
 /// [`try_run_hybrid`] over caller-owned per-rank [`Workspace`]s: each rank
@@ -125,22 +141,78 @@ fn hybrid_rank_body<M: MathMode, K: RadiiApprox>(
     let threads = comm.threads_per_rank();
     let pool = StealPool::new(threads);
     let steal_seed = 0xC11F_u64 ^ (rank as u64) << 8;
+    // Atom-based division is only exercised through the distributed runner
+    // in the paper's ablation; the hybrid runner keeps the node-based
+    // scheme for any `division` value.
+    let _ = division;
 
     // Replication is a property of the resident arenas: a reused workspace
-    // bills it once per lifetime, not once per superstep.
-    if !ws.replicated_billed {
+    // bills it once per lifetime, not once per superstep — except on a
+    // recovery replay, whose ledger was reset by the heal.
+    if !ws.replicated_billed || comm.attempt() > 0 {
         comm.record_replicated(sys.memory_bytes() as u64);
         ws.replicated_billed = true;
     }
 
+    // Recovery restart negotiation (see the distributed runner): replays
+    // resume from the deepest superstep boundary every rank checkpointed;
+    // fault-free runs never reach this collective.
+    if comm.attempt() == 0 {
+        ws.checkpoint.invalidate();
+    }
+    let restart_step = if comm.attempt() > 0 {
+        let mine = ws
+            .checkpoint
+            .valid_step(sys.num_atoms(), sys.ta.num_nodes(), p);
+        let mut neg = [-(f64::from(mine))];
+        comm.try_allreduce_max(&mut neg)?;
+        (-neg[0]) as u8
+    } else {
+        0
+    };
+    even_ranges_into(sys.num_atoms(), p, &mut ws.atom_ranges);
+
+    if restart_step >= 3 {
+        if restart_step < 5 {
+            ws.acc.reset_for(sys);
+            ws.acc.copy_from_flat(&ws.checkpoint.flat);
+        }
+        comm.record_work(ws.checkpoint.work);
+    } else {
+        run_integral_phase::<M, K>(sys, comm, mode, ws, &pool, steal_seed)?;
+    }
+
+    // ---- Step 4: push for this rank's atom segment, split across
+    // threads, each thread writing into a buffer sized for its own
+    // sub-range (no full-length scratch per worker).
+    let radii_tree = if restart_step >= 5 {
+        // the >= 3 restore above already re-billed the checkpointed work,
+        // which at step 5 includes the push phase
+        ws.checkpoint.radii_tree.clone()
+    } else {
+        run_push_and_allgather::<M, K>(sys, comm, ws, &pool, steal_seed)?
+    };
+
+    finish_energy_phase::<M>(sys, comm, ws, &pool, steal_seed, radii_tree)
+}
+
+/// Steps 2–3 of [`hybrid_rank_body`]: pool-parallel integrals plus the
+/// dense-or-sparse combine, checkpointed at the superstep boundary.
+fn run_integral_phase<M: MathMode, K: RadiiApprox>(
+    sys: &GbSystem,
+    comm: &mut Comm,
+    mode: CommMode,
+    ws: &mut Workspace,
+    pool: &StealPool,
+    steal_seed: u64,
+) -> Result<(), CommError> {
+    let rank = comm.rank();
+    let p = comm.size();
     // ---- Step 2: integrals over this rank's driving-leaf segment, one
     // task per leaf ordinal, per-worker accumulators merged in worker
     // order. The interaction lists are rebuilt in place per rank
     // (replicated preprocessing, like the bins), and the rank boundaries
-    // are cut by measured list work. Atom-based division is only exercised
-    // through the distributed runner in the paper's ablation; the hybrid
-    // runner keeps the node-based scheme for any `division` value.
-    let _ = division;
+    // are cut by measured list work.
     ws.born.rebuild(sys, ws.build_tasks, &mut ws.born_scratch);
     work_balanced_segments_into(ws.born.leaf_work(), p, &mut ws.seg_ranges);
     let seg = ws.seg_ranges[rank].clone();
@@ -170,7 +242,6 @@ fn hybrid_rank_body<M: MathMode, K: RadiiApprox>(
     // communication plan's two staged sparse exchanges (single-shot: the
     // steal pool's nondeterministic task order rules out the distributed
     // runner's chunk/send pipeline, but the manifests are identical).
-    even_ranges_into(sys.num_atoms(), p, &mut ws.atom_ranges);
     if p > 1 {
         match mode {
             CommMode::Dense => {
@@ -179,13 +250,38 @@ fn hybrid_rank_body<M: MathMode, K: RadiiApprox>(
                 ws.acc.copy_from_flat(&ws.flat);
             }
             CommMode::Sparse => {
-                ws.plan.ensure_node_node(sys, &ws.born, &ws.seg_ranges, &ws.atom_ranges, 1);
+                ws.plan
+                    .ensure_node_node(sys, &ws.born, &ws.seg_ranges, &ws.atom_ranges, 1);
                 reduce_to_owners_single(comm, &ws.plan, &ws.acc, &mut ws.owned_vals)?;
                 publish_to_consumers(comm, &ws.plan, &ws.owned_vals, &mut ws.acc)?;
             }
         }
     }
+    if comm.recovery_enabled() {
+        // Superstep boundary: this rank's combined accumulator plus the
+        // work billed so far.
+        ws.checkpoint.step = 3;
+        ws.checkpoint.atoms = sys.num_atoms();
+        ws.checkpoint.nodes = sys.ta.num_nodes();
+        ws.checkpoint.ranks = p;
+        ws.checkpoint.work = work;
+        ws.acc.to_flat_into(&mut ws.checkpoint.flat);
+    }
+    Ok(())
+}
 
+/// Steps 4–5 of [`hybrid_rank_body`]: pool-parallel push into the rank's
+/// radii segment, then the allgatherv — checkpointed as step 5 so a replay
+/// can skip straight to the energy phase.
+fn run_push_and_allgather<M: MathMode, K: RadiiApprox>(
+    sys: &GbSystem,
+    comm: &mut Comm,
+    ws: &mut Workspace,
+    pool: &StealPool,
+    steal_seed: u64,
+) -> Result<Vec<f64>, CommError> {
+    let rank = comm.rank();
+    let threads = comm.threads_per_rank();
     // ---- Step 4: push for this rank's atom segment, split across
     // threads, each thread writing into a buffer sized for its own
     // sub-range (no full-length scratch per worker).
@@ -206,28 +302,52 @@ fn hybrid_rank_body<M: MathMode, K: RadiiApprox>(
     });
     ws.radii_tree.clear();
     ws.radii_tree.resize(my_atoms.len(), 0.0);
+    let mut push_work = 0.0;
     for (t, slot) in push_parts.iter().enumerate() {
         let guard = slot.lock();
         comm.record_work(guard.1);
+        push_work += guard.1;
         ws.radii_tree[sub[t].clone()].copy_from_slice(&guard.0);
     }
     drop(push_parts);
 
     // ---- Step 5: allgather radii.
     let radii_tree = comm.try_allgatherv(&ws.radii_tree)?;
+    if comm.recovery_enabled() {
+        ws.checkpoint.step = 5;
+        ws.checkpoint.work += push_work;
+        ws.checkpoint.radii_tree.clear();
+        ws.checkpoint.radii_tree.extend_from_slice(&radii_tree);
+    }
+    Ok(radii_tree)
+}
 
+/// Steps 6–7 of [`hybrid_rank_body`]: pool-parallel energy over the rank's
+/// leaf segment and the final rank-order reduction.
+fn finish_energy_phase<M: MathMode>(
+    sys: &GbSystem,
+    comm: &mut Comm,
+    ws: &mut Workspace,
+    pool: &StealPool,
+    steal_seed: u64,
+    radii_tree: Vec<f64>,
+) -> Result<GbResult, CommError> {
+    let rank = comm.rank();
+    let p = comm.size();
     // ---- Step 6: energy over this rank's T_A leaf-ordinal segment via
     // the pool, boundaries balanced by the precomputed per-leaf list cost.
     ws.bins.recompute(sys, &radii_tree);
     comm.record_work(bin_build_work(sys));
-    ws.energy.rebuild(sys, ws.build_tasks, &mut ws.energy_scratch);
+    ws.energy
+        .rebuild(sys, ws.build_tasks, &mut ws.energy_scratch);
     let bins = &ws.bins;
     let energy = &ws.energy;
     let costs = energy.leaf_costs(sys, bins);
     work_balanced_segments_into(&costs, p, &mut ws.seg_ranges);
     let seg = ws.seg_ranges[rank].clone();
-    let energy_parts: Vec<Mutex<(f64, f64)>> =
-        (0..pool.workers()).map(|_| Mutex::new((0.0, 0.0))).collect();
+    let energy_parts: Vec<Mutex<(f64, f64)>> = (0..pool.workers())
+        .map(|_| Mutex::new((0.0, 0.0)))
+        .collect();
     let seg_start = seg.start;
     let stats = pool.run(seg.len(), steal_seed ^ 0x77, |wid, task| {
         let mut slot = energy_parts[wid].lock();
@@ -250,7 +370,10 @@ fn hybrid_rank_body<M: MathMode, K: RadiiApprox>(
     comm.try_allreduce_sum(&mut total)?;
     let energy_kcal = finalize_energy(total[0], sys.params.tau());
 
-    Ok(GbResult { energy_kcal, born_radii: sys.radii_to_original(&radii_tree) })
+    Ok(GbResult {
+        energy_kcal,
+        born_radii: sys.radii_to_original(&radii_tree),
+    })
 }
 
 #[cfg(test)]
@@ -270,8 +393,7 @@ mod tests {
     fn hybrid_1x1_equals_serial() {
         let s = sys(300);
         let serial = run_serial(&s);
-        let (hyb, _) =
-            run_hybrid(&s, &SimCluster::single_node(), 1, 1, WorkDivision::NodeNode);
+        let (hyb, _) = run_hybrid(&s, &SimCluster::single_node(), 1, 1, WorkDivision::NodeNode);
         // same kernels, same segment (everything), but worker-merge order
         // may differ from serial accumulation — allow fp-roundoff slack
         assert!(
@@ -307,10 +429,12 @@ mod tests {
         let (_, hyb) = run_hybrid(&s, &cluster, 2, 6, WorkDivision::NodeNode);
         let dist_bytes: u64 = dist.ledgers.iter().map(|l| l.bytes_moved).sum();
         let hyb_bytes: u64 = hyb.ledgers.iter().map(|l| l.bytes_moved).sum();
-        assert!(hyb_bytes < dist_bytes, "hybrid {hyb_bytes} vs distributed {dist_bytes}");
+        assert!(
+            hyb_bytes < dist_bytes,
+            "hybrid {hyb_bytes} vs distributed {dist_bytes}"
+        );
         // replicated memory: 12 copies vs 2 copies — the paper's 5.86×
-        let ratio =
-            dist.total_replicated_bytes() as f64 / hyb.total_replicated_bytes() as f64;
+        let ratio = dist.total_replicated_bytes() as f64 / hyb.total_replicated_bytes() as f64;
         assert!((ratio - 6.0).abs() < 0.5, "memory ratio {ratio}");
     }
 
@@ -318,8 +442,12 @@ mod tests {
     fn hybrid_energy_independent_of_thread_count() {
         let s = sys(400);
         let cluster = SimCluster::single_node();
-        let e1 = run_hybrid(&s, &cluster, 2, 1, WorkDivision::NodeNode).0.energy_kcal;
-        let e6 = run_hybrid(&s, &cluster, 2, 6, WorkDivision::NodeNode).0.energy_kcal;
+        let e1 = run_hybrid(&s, &cluster, 2, 1, WorkDivision::NodeNode)
+            .0
+            .energy_kcal;
+        let e6 = run_hybrid(&s, &cluster, 2, 6, WorkDivision::NodeNode)
+            .0
+            .energy_kcal;
         assert!((e1 - e6).abs() < 1e-9 * e1.abs());
     }
 }

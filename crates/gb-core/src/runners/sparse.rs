@@ -30,6 +30,11 @@ pub(crate) fn flat_get(acc: &IntegralAcc, num_nodes: usize, slot: usize) -> f64 
 /// exchange, and reduces the segments it owns **in ascending rank order
 /// starting from +0.0** — the dense allreduce's exact summation order.
 /// `owned_vals` receives this rank's owned interval.
+///
+/// Because the manifests come from the *replicated* plan, this is also the
+/// recovery transport: a healed replay re-derives exactly the failed
+/// attempt's produced∩owned payloads and re-ships them, bit-identical to
+/// what the overlap pipeline would have delivered.
 pub(crate) fn reduce_to_owners_single(
     comm: &mut Comm,
     plan: &CommPlan,
@@ -41,8 +46,11 @@ pub(crate) fn reduce_to_owners_single(
     let mine = plan.produced(me);
     let outgoing: Vec<Vec<f64>> = (0..p)
         .map(|o| {
-            let m = manifest_range(mine, &plan.owned(o));
-            mine[m].iter().map(|&s| flat_get(acc, plan.num_nodes, s as usize)).collect()
+            let m = plan.produced_owned(me, o);
+            mine[m]
+                .iter()
+                .map(|&s| flat_get(acc, plan.num_nodes, s as usize))
+                .collect()
         })
         .collect();
     let incoming = comm.try_sparse_exchange(&outgoing)?;
@@ -50,7 +58,7 @@ pub(crate) fn reduce_to_owners_single(
     owned_vals.clear();
     owned_vals.resize(interval.len(), 0.0);
     for (r, vals) in incoming.iter().enumerate() {
-        let m = manifest_range(plan.produced(r), &interval);
+        let m = plan.produced_owned(r, me);
         let slots = &plan.produced(r)[m];
         debug_assert_eq!(slots.len(), vals.len());
         for (&s, &v) in slots.iter().zip(vals) {
