@@ -8,7 +8,7 @@ use gb_core::energy::energy_for_leaves;
 use gb_core::fastmath::ExactMath;
 use gb_core::gbmath::R6;
 use gb_core::integrals::{accumulate_qleaf, push_integrals_to_atoms, IntegralAcc};
-use gb_core::{BornLists, EnergyLists, GbParams, GbSystem};
+use gb_core::{BornLists, EnergyExecScratch, EnergyLists, GbParams, GbSystem};
 use gb_molecule::{synthesize_protein, SyntheticParams};
 
 fn prepared(n: usize) -> GbSystem {
@@ -68,8 +68,17 @@ fn bench_interaction_lists(c: &mut Criterion) {
         b.iter(|| energy_for_leaves::<ExactMath>(sys, &bins, &radii, sys.ta.leaves()))
     });
     let energy = EnergyLists::build(&sys);
+    let mut scratch = EnergyExecScratch::new();
     group.bench_with_input(BenchmarkId::new("energy_list_exec", n), &sys, |b, sys| {
-        b.iter(|| energy.execute_leaves::<ExactMath>(sys, &bins, &radii, 0..energy.num_vleaves()))
+        b.iter(|| {
+            energy.execute_leaves::<ExactMath>(
+                sys,
+                &bins,
+                &radii,
+                0..energy.num_vleaves(),
+                &mut scratch,
+            )
+        })
     });
 
     group.finish();

@@ -19,7 +19,7 @@
 use crate::bins::ChargeBins;
 use crate::commplan::CommPlan;
 use crate::integrals::IntegralAcc;
-use crate::interaction::{BornLists, EnergyLists, ListScratch};
+use crate::interaction::{BornLists, EnergyExecScratch, EnergyLists, ListScratch};
 use gb_octree::NodeId;
 use parking_lot::Mutex;
 use std::ops::Range;
@@ -43,6 +43,8 @@ pub struct ChunkSlot {
     pub raw: f64,
     /// Work units of the chunk's energy execution.
     pub energy_work: f64,
+    /// Tile scratch of the chunk's energy execution.
+    pub energy_exec: EnergyExecScratch,
 }
 
 impl ChunkSlot {
@@ -55,6 +57,7 @@ impl ChunkSlot {
             push_stack: Vec::new(),
             raw: 0.0,
             energy_work: 0.0,
+            energy_exec: EnergyExecScratch::new(),
         }
     }
 
@@ -62,6 +65,7 @@ impl ChunkSlot {
         self.acc.memory_bytes()
             + self.radii.capacity() * std::mem::size_of::<f64>()
             + self.push_stack.capacity() * std::mem::size_of::<(NodeId, f64)>()
+            + self.energy_exec.memory_bytes()
     }
 }
 
@@ -159,6 +163,9 @@ pub struct Workspace {
     pub born_scratch: ListScratch,
     /// Walk scratch of the energy list build.
     pub energy_scratch: ListScratch,
+    /// Tile scratch of the serial/distributed energy execution (the shared
+    /// runner's chunk slots carry their own, one per worker).
+    pub energy_exec: EnergyExecScratch,
     /// Integral accumulators (full system size).
     pub acc: IntegralAcc,
     /// Energy-phase charge bins, recomputed in place.
@@ -211,6 +218,7 @@ impl Workspace {
             energy: EnergyLists::empty(),
             born_scratch: ListScratch::new(),
             energy_scratch: ListScratch::new(),
+            energy_exec: EnergyExecScratch::new(),
             acc: IntegralAcc::empty(),
             bins: ChargeBins::empty(),
             radii_tree: Vec::new(),
@@ -252,6 +260,7 @@ impl Workspace {
             + self.energy.memory_bytes()
             + self.born_scratch.memory_bytes()
             + self.energy_scratch.memory_bytes()
+            + self.energy_exec.memory_bytes()
             + self.acc.memory_bytes()
             + self.bins.memory_bytes()
             + (self.radii_tree.capacity() + self.radii_out.capacity() + self.flat.capacity())

@@ -47,6 +47,41 @@ pub struct ChargeBins {
     nz_charge: Vec<f64>,
     /// Representative radius of each entry in `nz_charge`.
     nz_radius: Vec<f64>,
+    /// Bin index of each entry in `nz_charge` (ascending within a node) —
+    /// the key into the hoisted pair tables below.
+    nz_bin: Vec<u32>,
+    /// Hoisted bin-pair radius products `bin_radius[i] * bin_radius[j]`,
+    /// row-major (`i * num_bins + j`, `K²` entries): the far-field kernel
+    /// reads `ri*rj` from here instead of multiplying inside the pair loop.
+    pair_rr: Vec<f64>,
+    /// Convolution radii over `s = i + j` (`2K−1` entries):
+    /// `bin_radius[s/2] * bin_radius[s - s/2]`. Under the geometric
+    /// representative every split of `s` gives the same product up to one
+    /// rounding (`R_i R_j = R_min²(1+ε)^{i+j}`), so a `K²` contraction
+    /// collapses to `2K−1` terms keyed by `s` alone.
+    conv_radius: Vec<f64>,
+}
+
+/// Fills the hoisted bin-pair tables from the representative radii:
+/// `pair_rr[i*K+j] = r[i]*r[j]` (the exact product the scalar far-field
+/// kernel computes) and `conv_radius[s] = r[s/2]*r[s-s/2]` (the balanced
+/// split representing every `(i,j)` with `i+j = s`).
+pub(crate) fn pair_tables_into(
+    bin_radius: &[f64],
+    pair_rr: &mut Vec<f64>,
+    conv_radius: &mut Vec<f64>,
+) {
+    let k = bin_radius.len();
+    pair_rr.clear();
+    for &ri in bin_radius {
+        for &rj in bin_radius {
+            pair_rr.push(ri * rj);
+        }
+    }
+    conv_radius.clear();
+    if k > 0 {
+        conv_radius.extend((0..2 * k - 1).map(|s| bin_radius[s / 2] * bin_radius[s - s / 2]));
+    }
 }
 
 /// Compacts per-node histograms into CSR lists of their nonzero entries
@@ -56,12 +91,21 @@ fn nonzero_lists(
     hist: &[f64],
     num_bins: usize,
     bin_radius: &[f64],
-) -> (Vec<u32>, Vec<f64>, Vec<f64>) {
+) -> (Vec<u32>, Vec<f64>, Vec<f64>, Vec<u32>) {
     let mut nz_off = Vec::new();
     let mut nz_charge = Vec::new();
     let mut nz_radius = Vec::new();
-    nonzero_lists_into(hist, num_bins, bin_radius, &mut nz_off, &mut nz_charge, &mut nz_radius);
-    (nz_off, nz_charge, nz_radius)
+    let mut nz_bin = Vec::new();
+    nonzero_lists_into(
+        hist,
+        num_bins,
+        bin_radius,
+        &mut nz_off,
+        &mut nz_charge,
+        &mut nz_radius,
+        &mut nz_bin,
+    );
+    (nz_off, nz_charge, nz_radius, nz_bin)
 }
 
 /// [`nonzero_lists`] into reused buffers (cleared, capacity kept).
@@ -72,11 +116,13 @@ fn nonzero_lists_into(
     nz_off: &mut Vec<u32>,
     nz_charge: &mut Vec<f64>,
     nz_radius: &mut Vec<f64>,
+    nz_bin: &mut Vec<u32>,
 ) {
     let n_nodes = hist.len() / num_bins.max(1);
     nz_off.clear();
     nz_charge.clear();
     nz_radius.clear();
+    nz_bin.clear();
     nz_off.push(0u32);
     for node in 0..n_nodes {
         let row = &hist[node * num_bins..(node + 1) * num_bins];
@@ -84,6 +130,7 @@ fn nonzero_lists_into(
             if q != 0.0 {
                 nz_charge.push(q);
                 nz_radius.push(bin_radius[k]);
+                nz_bin.push(k as u32);
             }
         }
         nz_off.push(nz_charge.len() as u32);
@@ -141,6 +188,9 @@ impl ChargeBins {
             nz_off: Vec::new(),
             nz_charge: Vec::new(),
             nz_radius: Vec::new(),
+            nz_bin: Vec::new(),
+            pair_rr: Vec::new(),
+            conv_radius: Vec::new(),
         }
     }
 
@@ -226,7 +276,9 @@ impl ChargeBins {
             &mut self.nz_off,
             &mut self.nz_charge,
             &mut self.nz_radius,
+            &mut self.nz_bin,
         );
+        pair_tables_into(&self.bin_radius, &mut self.pair_rr, &mut self.conv_radius);
     }
 
     /// Distributed builder: every rank contributes only its own atoms'
@@ -286,8 +338,22 @@ impl ChargeBins {
                 }
             }
         }
-        let (nz_off, nz_charge, nz_radius) = nonzero_lists(&hist, num_bins, &bin_radius);
-        ChargeBins { r_min, log_base, num_bins, hist, bin_radius, nz_off, nz_charge, nz_radius }
+        let (nz_off, nz_charge, nz_radius, nz_bin) = nonzero_lists(&hist, num_bins, &bin_radius);
+        let (mut pair_rr, mut conv_radius) = (Vec::new(), Vec::new());
+        pair_tables_into(&bin_radius, &mut pair_rr, &mut conv_radius);
+        ChargeBins {
+            r_min,
+            log_base,
+            num_bins,
+            hist,
+            bin_radius,
+            nz_off,
+            nz_charge,
+            nz_radius,
+            nz_bin,
+            pair_rr,
+            conv_radius,
+        }
     }
 
     /// Histogram of one node.
@@ -312,6 +378,29 @@ impl ChargeBins {
         (self.nz_off[node as usize + 1] - self.nz_off[node as usize]) as usize
     }
 
+    /// Bin indices of one node's nonzero histogram entries (parallel to
+    /// [`ChargeBins::node_nonzero`], ascending).
+    #[inline(always)]
+    pub fn node_nonzero_bins(&self, node: u32) -> &[u32] {
+        let lo = self.nz_off[node as usize] as usize;
+        let hi = self.nz_off[node as usize + 1] as usize;
+        &self.nz_bin[lo..hi]
+    }
+
+    /// Hoisted `bin_radius[i] * bin_radius[j]` table, row-major
+    /// (`i * num_bins + j`).
+    #[inline(always)]
+    pub fn pair_rr_table(&self) -> &[f64] {
+        &self.pair_rr
+    }
+
+    /// Convolution radii over `s = i + j` (`2·num_bins − 1` entries,
+    /// `bin_radius[s/2] * bin_radius[s - s/2]`).
+    #[inline(always)]
+    pub fn conv_radius_table(&self) -> &[f64] {
+        &self.conv_radius
+    }
+
     /// Bin index of a Born radius.
     #[inline]
     pub fn bin_of(&self, r: f64) -> usize {
@@ -320,9 +409,13 @@ impl ChargeBins {
 
     /// Memory footprint of the histograms in bytes.
     pub fn memory_bytes(&self) -> usize {
-        (self.hist.capacity() + self.nz_charge.capacity() + self.nz_radius.capacity())
+        (self.hist.capacity()
+            + self.nz_charge.capacity()
+            + self.nz_radius.capacity()
+            + self.pair_rr.capacity()
+            + self.conv_radius.capacity())
             * std::mem::size_of::<f64>()
-            + self.nz_off.capacity() * std::mem::size_of::<u32>()
+            + (self.nz_off.capacity() + self.nz_bin.capacity()) * std::mem::size_of::<u32>()
     }
 }
 
@@ -413,9 +506,41 @@ mod tests {
                 .map(|(k, &q)| (q, bins.bin_radius[k]))
                 .collect();
             assert_eq!(bins.num_nonzero(id), want.len(), "node {id}");
+            let ks = bins.node_nonzero_bins(id);
+            assert_eq!(ks.len(), want.len(), "node {id}");
             for (i, &(q, r)) in want.iter().enumerate() {
                 assert_eq!(qs[i], q, "node {id} entry {i}");
                 assert_eq!(rs[i], r, "node {id} entry {i}");
+                assert_eq!(bins.bin_radius[ks[i] as usize], r, "node {id} entry {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_tables_match_radius_products() {
+        let (sys, radii) = system_with_radii(350);
+        let bins = ChargeBins::compute(&sys, &radii);
+        let k = bins.num_bins;
+        let rr = bins.pair_rr_table();
+        assert_eq!(rr.len(), k * k);
+        for i in 0..k {
+            for j in 0..k {
+                assert_eq!(
+                    rr[i * k + j].to_bits(),
+                    (bins.bin_radius[i] * bins.bin_radius[j]).to_bits(),
+                    "pair ({i},{j})"
+                );
+            }
+        }
+        let conv = bins.conv_radius_table();
+        assert_eq!(conv.len(), 2 * k - 1);
+        // any split of s matches the balanced one within a couple of ulps
+        // (geometric representative: both are R_min²(1+ε)^s up to rounding)
+        for i in 0..k {
+            for j in 0..k {
+                let exact = bins.bin_radius[i] * bins.bin_radius[j];
+                let rel = ((conv[i + j] - exact) / exact).abs();
+                assert!(rel < 1e-14, "split ({i},{j}) rel {rel}");
             }
         }
     }

@@ -68,6 +68,20 @@ pub trait MathMode: Copy + Send + Sync + 'static {
         out
     }
 
+    /// Whole-slice `e^x`: `out[t] = exp(args[t])` — the middle pass of the
+    /// pass-split tile kernels (`interaction::EnergyLists`). The default is
+    /// the scalar loop, bit-identical to calling [`MathMode::exp`] per
+    /// element; `VectorMath` overrides with the level-dispatched packed
+    /// block ([`crate::simd::vector_exp_block`]), which is itself
+    /// bit-identical to the scalar loop per element.
+    #[inline(always)]
+    fn exp_block(args: &[f64], out: &mut [f64]) {
+        assert_eq!(args.len(), out.len());
+        for (o, &a) in out.iter_mut().zip(args) {
+            *o = Self::exp(a);
+        }
+    }
+
     /// Eight independent `1/f_GB` evaluations — the far-pair flush width.
     /// The default is two [`MathMode::inv_f_gb4`] halves (so lane `l`
     /// always equals the 4-lane and scalar kernels bit for bit);
@@ -134,6 +148,10 @@ impl MathMode for VectorMath {
     #[inline(always)]
     fn inv_f_gb8(r_sq: [f64; 8], ri_rj: [f64; 8]) -> [f64; 8] {
         crate::simd::inv_f_gb8(r_sq, ri_rj)
+    }
+    #[inline(always)]
+    fn exp_block(args: &[f64], out: &mut [f64]) {
+        crate::simd::vector_exp_block(args, out)
     }
 }
 
@@ -348,6 +366,25 @@ mod tests {
                 approx.to_bits(),
                 crate::gbmath::inv_f_gb::<ApproxMath>(r_sq[l], rr[l]).to_bits()
             );
+        }
+    }
+
+    #[test]
+    fn exp_block_matches_per_element_exp_bitwise() {
+        // odd length so the packed override exercises its tail too
+        let args: Vec<f64> = (0..29).map(|i| -0.9 * i as f64).collect();
+        let mut out = vec![0.0; args.len()];
+        ExactMath::exp_block(&args, &mut out);
+        for (&a, &o) in args.iter().zip(&out) {
+            assert_eq!(o.to_bits(), ExactMath::exp(a).to_bits());
+        }
+        ApproxMath::exp_block(&args, &mut out);
+        for (&a, &o) in args.iter().zip(&out) {
+            assert_eq!(o.to_bits(), ApproxMath::exp(a).to_bits());
+        }
+        VectorMath::exp_block(&args, &mut out);
+        for (&a, &o) in args.iter().zip(&out) {
+            assert_eq!(o.to_bits(), VectorMath::exp(a).to_bits());
         }
     }
 

@@ -44,6 +44,15 @@ use std::ops::Range;
 /// inside the margin band simply descend and decide exactly.
 const MARGIN: f64 = 1e-9;
 
+/// Minimum driving leaves per walk task. A split build pays a serial
+/// stitch pass over every emitted entry ([`append_csr`]), which the
+/// parallel walk must win back; below this per-task size it cannot (the
+/// energy build at 20k atoms measured *slower* split than serial), so
+/// [`BornLists::rebuild`]/[`EnergyLists::rebuild`] cap the task count.
+/// The lists are byte-identical for any task count, so this is purely a
+/// scheduling decision.
+const MIN_TASK_LEAVES: usize = 2048;
+
 /// A list emission recorded during a walk: the interacting node, applied to
 /// a contiguous run `[span_start, span_end)` of driving-leaf ordinals
 /// (task-local coordinates when the walk covers an ordinal range).
@@ -90,6 +99,13 @@ pub struct ListScratch {
     segs: Vec<WalkSeg>,
     diff: Vec<i64>,
     cursor: Vec<usize>,
+    /// Leaf ordinal of each `T_A` node id (`u32::MAX` for internal nodes) —
+    /// the inverse of `leaves()`, rebuilt per energy build for the
+    /// symmetric-pair annotation.
+    ord_of: Vec<u32>,
+    /// Partner *ordinals* mirroring `EnergyLists::near` — the sorted
+    /// per-ordinal slices the annotation pass binary-searches.
+    near_ords: Vec<u32>,
 }
 
 impl Default for ListScratch {
@@ -106,6 +122,8 @@ impl ListScratch {
             segs: Vec::new(),
             diff: Vec::new(),
             cursor: Vec::new(),
+            ord_of: Vec::new(),
+            near_ords: Vec::new(),
         }
     }
 
@@ -122,6 +140,7 @@ impl ListScratch {
             + self.segs.capacity() * std::mem::size_of::<WalkSeg>()
             + self.diff.capacity() * std::mem::size_of::<i64>()
             + self.cursor.capacity() * std::mem::size_of::<usize>()
+            + (self.ord_of.capacity() + self.near_ords.capacity()) * std::mem::size_of::<u32>()
     }
 }
 
@@ -312,6 +331,19 @@ impl BornLists {
     /// `scratch` — allocation-free once both have warmed to the problem
     /// size (with `tasks == 1`; spawning scope threads allocates).
     pub fn rebuild(&mut self, sys: &GbSystem, tasks: usize, scratch: &mut ListScratch) {
+        self.rebuild_with_task_floor(sys, tasks, scratch, MIN_TASK_LEAVES);
+    }
+
+    /// [`BornLists::rebuild`] with an explicit per-task leaf floor — the
+    /// split-path tests drive this with `floor == 1` so small systems still
+    /// exercise multi-task stitching.
+    pub(crate) fn rebuild_with_task_floor(
+        &mut self,
+        sys: &GbSystem,
+        tasks: usize,
+        scratch: &mut ListScratch,
+        floor: usize,
+    ) {
         let nleaves = sys.tq.num_leaves();
         self.far_off.clear();
         self.far.clear();
@@ -329,7 +361,10 @@ impl BornLists {
         // well_separated(d, ra, rq, t)  ⇔  d ≥ (ra + rq)(t+1)/(t−1)
         let coef = (threshold + 1.0) / (threshold - 1.0);
         scratch.spans.recompute(&sys.tq);
-        let ntasks = tasks.max(1).min(nleaves);
+        // never split below `floor` driving leaves per task — the serial
+        // stitch would eat the parallel walk's gain (byte-identical lists
+        // either way)
+        let ntasks = tasks.max(1).min(nleaves).min((nleaves / floor.max(1)).max(1));
         scratch.ensure_segs(ntasks);
         let bounds = |i: usize| (i * nleaves / ntasks, (i + 1) * nleaves / ntasks);
 
@@ -583,6 +618,14 @@ pub struct EnergyLists {
     trav_steps: Vec<f64>,
     /// Per-ordinal exact-pair work `Σ |U|·|V|` over the near list.
     near_work: Vec<f64>,
+    /// Execution weight of each `near` entry: `1` = evaluate once
+    /// (self-pair or asymmetric), `2` = this ordinal owns a *symmetric*
+    /// leaf pair and evaluates it for both sides (the `f_GB` terms of
+    /// `(U,V)` and `(V,U)` are bitwise equal, so doubling is exact),
+    /// `0` = the mirror ordinal owns it — skip. Ownership alternates by a
+    /// checkerboard rule on the ordinal pair so halving stays balanced
+    /// across rank/chunk segments.
+    near_w: Vec<u8>,
     /// Work spent constructing the lists (one traversal unit per walk pop).
     pub build_work: f64,
 }
@@ -672,6 +715,7 @@ impl EnergyLists {
             far: Vec::new(),
             trav_steps: Vec::new(),
             near_work: Vec::new(),
+            near_w: Vec::new(),
             build_work: 0.0,
         }
     }
@@ -695,6 +739,18 @@ impl EnergyLists {
     /// In-place [`EnergyLists::build_tasks`] reusing this value's buffers
     /// and `scratch` — allocation-free once warmed (with `tasks == 1`).
     pub fn rebuild(&mut self, sys: &GbSystem, tasks: usize, scratch: &mut ListScratch) {
+        self.rebuild_with_task_floor(sys, tasks, scratch, MIN_TASK_LEAVES);
+    }
+
+    /// [`EnergyLists::rebuild`] with an explicit per-task leaf floor (see
+    /// [`BornLists::rebuild_with_task_floor`]).
+    pub(crate) fn rebuild_with_task_floor(
+        &mut self,
+        sys: &GbSystem,
+        tasks: usize,
+        scratch: &mut ListScratch,
+        floor: usize,
+    ) {
         let nleaves = sys.ta.num_leaves();
         self.near_off.clear();
         self.near.clear();
@@ -702,6 +758,7 @@ impl EnergyLists {
         self.far.clear();
         self.trav_steps.clear();
         self.near_work.clear();
+        self.near_w.clear();
         self.build_work = 0.0;
         if sys.ta.is_empty() {
             self.near_off.resize(nleaves + 1, 0);
@@ -712,7 +769,9 @@ impl EnergyLists {
         }
         let mac = sys.params.energy_mac_factor();
         scratch.spans.recompute(&sys.ta);
-        let ntasks = tasks.max(1).min(nleaves);
+        // same per-task floor as the Born build (see MIN_TASK_LEAVES): the
+        // energy stitch is even heavier relative to its walk
+        let ntasks = tasks.max(1).min(nleaves).min((nleaves / floor.max(1)).max(1));
         scratch.ensure_segs(ntasks);
         let bounds = |i: usize| (i * nleaves / ntasks, (i + 1) * nleaves / ntasks);
 
@@ -745,13 +804,90 @@ impl EnergyLists {
         }
         self.near_off.push(self.near.len());
         self.far_off.push(self.far.len());
+        // The tail passes below index by partner *ordinal* so the random
+        // node-table walks happen once per leaf, not once per near entry.
+        // `diff` is free after the CSR stitch and holds the per-ordinal
+        // atom counts; `cursor` is free too and holds the per-row merge
+        // cursors of the ownership pass.
+        let ListScratch { ord_of, near_ords, diff, cursor, .. } = scratch;
+        diff.clear();
+        diff.extend(sys.ta.leaves().iter().map(|&l| sys.ta.node(l).count() as i64));
+        ord_of.clear();
+        ord_of.resize(sys.ta.num_nodes(), u32::MAX);
+        for (i, &l) in sys.ta.leaves().iter().enumerate() {
+            ord_of[l as usize] = i as u32;
+        }
+
+        // Sort each ordinal's near partners by ordinal (leaf ordinals
+        // follow atom order, so this is the ascending-atom-span order the
+        // gathered near tile streams; the LIFO walk emits rows nearly
+        // reversed, which pdqsort's descending-run detection handles in
+        // O(row)). Sorting the u32 ordinal mirror instead of the node ids
+        // keeps the comparator out of the node table; the id column is
+        // regenerated from the sorted ordinals.
+        near_ords.clear();
+        near_ords.extend(self.near.iter().map(|&id| ord_of[id as usize]));
+        let leaves = sys.ta.leaves();
         for ord in 0..nleaves {
-            let v_count = sys.ta.node(sys.ta.leaves()[ord]).count() as f64;
-            let mut pairs = 0.0;
-            for &u_id in &self.near[self.near_off[ord]..self.near_off[ord + 1]] {
-                pairs += sys.ta.node(u_id).count() as f64 * v_count;
+            let (lo, hi) = (self.near_off[ord], self.near_off[ord + 1]);
+            near_ords[lo..hi].sort_unstable();
+            for k in lo..hi {
+                self.near[k] = leaves[near_ords[k] as usize];
             }
-            self.near_work.push(pairs);
+        }
+
+        // Per-ordinal near work from the count table. Counts are ≤ the
+        // leaf cap, so the integer sum is exact and the product matches
+        // the old per-pair f64 accumulation bit for bit.
+        for ord in 0..nleaves {
+            let v_count = diff[ord] as f64;
+            let row = &near_ords[self.near_off[ord]..self.near_off[ord + 1]];
+            let pairs: i64 = row.iter().map(|&uo| diff[uo as usize]).sum();
+            self.near_work.push(pairs as f64 * v_count);
+        }
+
+        // Annotate symmetric-pair ownership: a leaf pair listed by both
+        // ordinals is evaluated once, doubled, by exactly one of them.
+        // Rows are ascending by partner ordinal and driving ordinals are
+        // visited in increasing order, so each row's "is `ord` one of my
+        // partners?" queries arrive with `ord` increasing and a per-row
+        // cursor into the row's upper half answers every query with a
+        // monotone advance — O(near) total, no per-entry binary search.
+        cursor.clear();
+        cursor.extend((0..nleaves).map(|ord| {
+            let (lo, hi) = (self.near_off[ord], self.near_off[ord + 1]);
+            lo + near_ords[lo..hi].partition_point(|&uo| (uo as usize) <= ord)
+        }));
+        self.near_w.resize(self.near.len(), 1);
+        for ord in 0..nleaves {
+            for k in self.near_off[ord]..self.near_off[ord + 1] {
+                let uo = near_ords[k] as usize;
+                if uo >= ord {
+                    // self pair keeps weight 1; upper-half partners get
+                    // their weight when the mirror ordinal is visited
+                    break;
+                }
+                let mut c = cursor[uo];
+                let uhi = self.near_off[uo + 1];
+                while c < uhi && (near_ords[c] as usize) < ord {
+                    c += 1;
+                }
+                cursor[uo] = c;
+                if c < uhi && near_ords[c] as usize == ord {
+                    // checkerboard owner: even ordinal sum → smaller
+                    // ordinal owns, odd → larger; `ord > uo` here, so the
+                    // driving row owns exactly the odd sums
+                    if (uo + ord) % 2 == 1 {
+                        self.near_w[k] = 2;
+                        self.near_w[c] = 0;
+                    } else {
+                        self.near_w[k] = 0;
+                        self.near_w[c] = 2;
+                    }
+                }
+                // no match: asymmetric (the walk resolved (V,U) far) —
+                // both sides keep weight 1
+            }
         }
     }
 
@@ -779,68 +915,25 @@ impl EnergyLists {
         self.trav_steps.len()
     }
 
-    /// Executes the lists of driving-leaf ordinal `ord`: exact partners via
-    /// the batched kernel, then far partners via histogram contraction over
-    /// the precompacted nonzero bins. Returns `(raw_energy, work_units)`;
-    /// the work matches `energy_for_leaf`'s tally bit for bit.
+    /// Executes the lists of driving-leaf ordinal `ord` through the tiled
+    /// pass-split kernels: the near list as one gathered SoA tile
+    /// ([`EnergyLists::near_tile_raw`]), the far list as one class-batched
+    /// bin-pair tile ([`EnergyLists::far_tile_raw`]). Returns
+    /// `(raw_energy, work_units)`; the work matches `energy_for_leaf`'s
+    /// tally bit for bit — symmetric halving and convolution collapse
+    /// change the *flops*, never the billed units, so `workdiv`/`balance`
+    /// segments are unchanged.
     pub fn execute_leaf<M: MathMode>(
         &self,
         sys: &GbSystem,
         bins: &ChargeBins,
         radii_tree: &[f64],
         ord: usize,
+        scratch: &mut EnergyExecScratch,
     ) -> (f64, f64) {
-        let v_leaf = sys.ta.leaves()[ord];
-        let v = sys.ta.node(v_leaf);
-        let mut raw = 0.0;
-        let mut work = TRAVERSAL_UNIT * self.trav_steps[ord] + self.near_work[ord];
-        for &u_id in &self.near[self.near_off[ord]..self.near_off[ord + 1]] {
-            raw += energy_pair_batched::<M>(sys, radii_tree, sys.ta.node(u_id), v);
-        }
-        let (v_nzq, v_nzr) = bins.node_nonzero(v_leaf);
-        let lanes = SimdLevel::active() != SimdLevel::Scalar;
-        for &u_id in &self.far[self.far_off[ord]..self.far_off[ord + 1]] {
-            let u = sys.ta.node(u_id);
-            let d = u.centroid.dist(v.centroid);
-            let d_sq = d * d;
-            let (u_nzq, u_nzr) = bins.node_nonzero(u_id);
-            if lanes {
-                // Batch the expensive 1/f_GB evaluations eight at a time
-                // but accumulate term by term in the original nested-loop
-                // order — no reassociation, so this is bit-identical to the
-                // scalar path for every math mode (the flush width only
-                // decides when the lane kernel runs, never the values or
-                // the order they are added in).
-                let mut lane = 0usize;
-                let mut qq = [0.0f64; 8];
-                let mut rr = [0.0f64; 8];
-                for (&qu, &ri) in u_nzq.iter().zip(u_nzr) {
-                    for (&qv, &rj) in v_nzq.iter().zip(v_nzr) {
-                        qq[lane] = qu * qv;
-                        rr[lane] = ri * rj;
-                        lane += 1;
-                        if lane == 8 {
-                            let inv = M::inv_f_gb8([d_sq; 8], rr);
-                            for l in 0..8 {
-                                raw += qq[l] * inv[l];
-                            }
-                            lane = 0;
-                        }
-                    }
-                }
-                for l in 0..lane {
-                    raw += qq[l] * inv_f_gb::<M>(d_sq, rr[l]);
-                }
-            } else {
-                for (&qu, &ri) in u_nzq.iter().zip(u_nzr) {
-                    for (&qv, &rj) in v_nzq.iter().zip(v_nzr) {
-                        raw += qu * qv * inv_f_gb::<M>(d_sq, ri * rj);
-                    }
-                }
-            }
-            work += (u_nzq.len() * v_nzq.len()) as f64;
-        }
-        (raw, work)
+        let (near_raw, near_work) = self.near_tile_raw::<M>(sys, radii_tree, ord, scratch);
+        let (far_raw, far_work) = self.far_tile_raw::<M>(sys, bins, ord, scratch);
+        (near_raw + far_raw, near_work + far_work)
     }
 
     /// Executes a contiguous run of driving-leaf ordinals, summing raw
@@ -851,15 +944,297 @@ impl EnergyLists {
         bins: &ChargeBins,
         radii_tree: &[f64],
         ords: Range<usize>,
+        scratch: &mut EnergyExecScratch,
     ) -> (f64, f64) {
         let mut raw = 0.0;
         let mut work = 0.0;
         for ord in ords {
-            let (r, w) = self.execute_leaf::<M>(sys, bins, radii_tree, ord);
+            let (r, w) = self.execute_leaf::<M>(sys, bins, radii_tree, ord, scratch);
             raw += r;
             work += w;
         }
         (raw, work)
+    }
+
+    /// Far field only, over a run of ordinals — the bench's isolated
+    /// `far_exec_ms` timing. Work is the far share of the billed units.
+    pub fn execute_far<M: MathMode>(
+        &self,
+        sys: &GbSystem,
+        bins: &ChargeBins,
+        ords: Range<usize>,
+        scratch: &mut EnergyExecScratch,
+    ) -> (f64, f64) {
+        let mut raw = 0.0;
+        let mut work = 0.0;
+        for ord in ords {
+            let (r, w) = self.far_tile_raw::<M>(sys, bins, ord, scratch);
+            raw += r;
+            work += w;
+        }
+        (raw, work)
+    }
+
+    /// The near list of ordinal `ord` as one gathered SoA tile: every owned
+    /// partner atom's coordinates, Born radius and *weighted* charge
+    /// (`2q` for owned symmetric pairs — exact, a power-of-two scale) are
+    /// streamed into contiguous scratch, then each `v` atom runs the
+    /// pass-split kernel over the whole tile: distances + `−r²/(4RiRj)`,
+    /// one [`MathMode::exp_block`], the `rsqrt(r² + RiRj·e)` finish, and
+    /// the strided-8 weighted dot. Every arithmetic op mirrors the scalar
+    /// `inv_f_gb` sequence, and every pass is either plain Rust (identical
+    /// machine code at every `GB_SIMD` level) or a bit-identical packed
+    /// kernel — so the result is `to_bits()`-stable across levels.
+    fn near_tile_raw<M: MathMode>(
+        &self,
+        sys: &GbSystem,
+        radii_tree: &[f64],
+        ord: usize,
+        scratch: &mut EnergyExecScratch,
+    ) -> (f64, f64) {
+        let v_leaf = sys.ta.leaves()[ord];
+        let v = sys.ta.node(v_leaf);
+        let work = TRAVERSAL_UNIT * self.trav_steps[ord] + self.near_work[ord];
+        scratch.tx.clear();
+        scratch.ty.clear();
+        scratch.tz.clear();
+        scratch.tq.clear();
+        scratch.tr.clear();
+        for k in self.near_off[ord]..self.near_off[ord + 1] {
+            let w = self.near_w[k];
+            if w == 0 {
+                continue; // mirror ordinal owns this symmetric pair
+            }
+            let n = sys.ta.node(self.near[k]);
+            let r = n.begin as usize..n.end as usize;
+            scratch.tx.extend_from_slice(&sys.a_soa.x[r.clone()]);
+            scratch.ty.extend_from_slice(&sys.a_soa.y[r.clone()]);
+            scratch.tz.extend_from_slice(&sys.a_soa.z[r.clone()]);
+            scratch.tr.extend_from_slice(&radii_tree[r.clone()]);
+            if w == 1 {
+                scratch.tq.extend_from_slice(&sys.charge_tree[r]);
+            } else {
+                scratch.tq.extend(sys.charge_tree[r].iter().map(|&q| 2.0 * q));
+            }
+        }
+        let t = scratch.tx.len();
+        if t == 0 {
+            return (0.0, work);
+        }
+        ensure_len(&mut scratch.rsq, t);
+        ensure_len(&mut scratch.rr, t);
+        ensure_len(&mut scratch.arg, t);
+        ensure_len(&mut scratch.ex, t);
+        // pre-sliced to exactly `t` so the pass loops carry no bounds
+        // checks (checked indexing defeats autovectorization)
+        let tx = &scratch.tx[..t];
+        let ty = &scratch.ty[..t];
+        let tz = &scratch.tz[..t];
+        let tq = &scratch.tq[..t];
+        let tr = &scratch.tr[..t];
+        let rsq = &mut scratch.rsq[..t];
+        let rr = &mut scratch.rr[..t];
+        let arg = &mut scratch.arg[..t];
+        let ex = &mut scratch.ex[..t];
+        let mut raw = 0.0;
+        for vi in v.range() {
+            let (px, py, pz) = (sys.a_soa.x[vi], sys.a_soa.y[vi], sys.a_soa.z[vi]);
+            let qv = sys.charge_tree[vi];
+            let rv = radii_tree[vi];
+            for i in 0..t {
+                let dx = tx[i] - px;
+                let dy = ty[i] - py;
+                let dz = tz[i] - pz;
+                rsq[i] = dz.mul_add(dz, dy.mul_add(dy, dx * dx));
+                rr[i] = rv * tr[i];
+                arg[i] = (-rsq[i]) / (4.0 * rr[i]);
+            }
+            M::exp_block(arg, ex);
+            for i in 0..t {
+                ex[i] = M::rsqrt(rsq[i] + rr[i] * ex[i]);
+            }
+            raw += qv * dot8(tq, ex);
+        }
+        (raw, work)
+    }
+
+    /// The far list of ordinal `ord` as one flat bin-pair tile, pairs
+    /// batched by nonzero-bin-count class: a staging pass records each far
+    /// partner's `d²` and class (its nonzero-bin count), a stable counting
+    /// sort groups same-shaped contractions adjacent, then each pair emits
+    /// its `(d², R_iR_j, q_i q_j)` terms — the full `K²` grid reading the
+    /// hoisted [`ChargeBins::pair_rr_table`], or, when the `s = i+j`
+    /// span is narrower than the grid, the length-`(2K−1)` convolution
+    /// over [`ChargeBins::conv_radius_table`] (the geometric representative
+    /// makes every split of `s` equal to ulps). One pass-split sweep then
+    /// evaluates the whole tile with full ZMM lanes and a single tail.
+    fn far_tile_raw<M: MathMode>(
+        &self,
+        sys: &GbSystem,
+        bins: &ChargeBins,
+        ord: usize,
+        scratch: &mut EnergyExecScratch,
+    ) -> (f64, f64) {
+        let v_leaf = sys.ta.leaves()[ord];
+        let v = sys.ta.node(v_leaf);
+        let fars = &self.far[self.far_off[ord]..self.far_off[ord + 1]];
+        let (v_nzq, _) = bins.node_nonzero(v_leaf);
+        let v_nzb = bins.node_nonzero_bins(v_leaf);
+        let vn = v_nzq.len();
+        let mut work = 0.0;
+        if vn == 0 || fars.is_empty() {
+            return (0.0, work); // Σ nnz_U · 0 bills nothing
+        }
+        // staging: distance + class per far pair, then a stable counting
+        // sort by class so equal-shaped contractions sit adjacent in the
+        // tile (dense full-lane runs, masked tail only at the very end)
+        let nf = fars.len();
+        scratch.pair_d2.clear();
+        scratch.pair_cls.clear();
+        for &u_id in fars {
+            let u = sys.ta.node(u_id);
+            let d = u.centroid.dist(v.centroid);
+            scratch.pair_d2.push(d * d);
+            let un = bins.num_nonzero(u_id);
+            work += (un * vn) as f64;
+            scratch.pair_cls.push(un as u32);
+        }
+        let ncls = bins.num_bins + 2;
+        scratch.cls_cursor.clear();
+        scratch.cls_cursor.resize(ncls, 0u32);
+        for &c in &scratch.pair_cls {
+            scratch.cls_cursor[c as usize + 1] += 1;
+        }
+        for i in 1..ncls {
+            scratch.cls_cursor[i] += scratch.cls_cursor[i - 1];
+        }
+        ensure_len_u32(&mut scratch.pair_order, nf);
+        for k in 0..nf {
+            let c = scratch.pair_cls[k] as usize;
+            scratch.pair_order[scratch.cls_cursor[c] as usize] = k as u32;
+            scratch.cls_cursor[c] += 1;
+        }
+        // emission: one flat (d², RiRj, weight) SoA tile over all pairs
+        let kbins = bins.num_bins;
+        let pair_rr = bins.pair_rr_table();
+        let conv_radius = bins.conv_radius_table();
+        ensure_len(&mut scratch.conv_w, conv_radius.len());
+        scratch.fd2.clear();
+        scratch.frr.clear();
+        scratch.fw.clear();
+        for &pk in &scratch.pair_order[..nf] {
+            let k = pk as usize;
+            let un = scratch.pair_cls[k] as usize;
+            if un == 0 {
+                continue;
+            }
+            let u_id = fars[k];
+            let d_sq = scratch.pair_d2[k];
+            let (u_nzq, _) = bins.node_nonzero(u_id);
+            let u_nzb = bins.node_nonzero_bins(u_id);
+            let lo_s = (u_nzb[0] + v_nzb[0]) as usize;
+            let hi_s = (u_nzb[un - 1] + v_nzb[vn - 1]) as usize;
+            if hi_s - lo_s + 1 < un * vn {
+                // convolution collapse: accumulate the charge products on
+                // s = i+j (i-major, deterministic), emit nonzero slots
+                for i in 0..un {
+                    let bi = u_nzb[i];
+                    let qi = u_nzq[i];
+                    for j in 0..vn {
+                        scratch.conv_w[(bi + v_nzb[j]) as usize] += qi * v_nzq[j];
+                    }
+                }
+                for (w, &cr) in scratch.conv_w[lo_s..=hi_s]
+                    .iter_mut()
+                    .zip(&conv_radius[lo_s..=hi_s])
+                {
+                    if *w != 0.0 {
+                        scratch.fd2.push(d_sq);
+                        scratch.frr.push(cr);
+                        scratch.fw.push(*w);
+                    }
+                    *w = 0.0;
+                }
+            } else {
+                for i in 0..un {
+                    let base = u_nzb[i] as usize * kbins;
+                    let qi = u_nzq[i];
+                    for j in 0..vn {
+                        scratch.fd2.push(d_sq);
+                        scratch.frr.push(pair_rr[base + v_nzb[j] as usize]);
+                        scratch.fw.push(qi * v_nzq[j]);
+                    }
+                }
+            }
+        }
+        // pass-split evaluation over the whole tile (pre-sliced so the
+        // loops are bounds-check-free and autovectorize)
+        let t = scratch.fd2.len();
+        ensure_len(&mut scratch.arg, t);
+        ensure_len(&mut scratch.ex, t);
+        let fd2 = &scratch.fd2[..t];
+        let frr = &scratch.frr[..t];
+        let arg = &mut scratch.arg[..t];
+        let ex = &mut scratch.ex[..t];
+        for i in 0..t {
+            arg[i] = (-fd2[i]) / (4.0 * frr[i]);
+        }
+        M::exp_block(arg, ex);
+        for i in 0..t {
+            ex[i] = M::rsqrt(fd2[i] + frr[i] * ex[i]);
+        }
+        (dot8(&scratch.fw[..t], ex), work)
+    }
+
+    /// Replays the far staging decisions without evaluating — the bench's
+    /// per-class observability columns.
+    pub fn far_stats(&self, sys: &GbSystem, bins: &ChargeBins) -> FarStats {
+        let mut st = FarStats {
+            pair_count: self.far.len() as u64,
+            class_pairs: vec![0u64; bins.num_bins + 1],
+            ..FarStats::default()
+        };
+        let mut conv_w = vec![0.0f64; bins.conv_radius_table().len().max(1)];
+        for ord in 0..self.num_vleaves() {
+            let v_leaf = sys.ta.leaves()[ord];
+            let (v_nzq, _) = bins.node_nonzero(v_leaf);
+            let v_nzb = bins.node_nonzero_bins(v_leaf);
+            let vn = v_nzq.len();
+            if vn == 0 {
+                continue;
+            }
+            let mut tile = 0u64;
+            for &u_id in &self.far[self.far_off[ord]..self.far_off[ord + 1]] {
+                let un = bins.num_nonzero(u_id);
+                st.class_pairs[un] += 1;
+                st.product_entries += (un * vn) as u64;
+                if un == 0 {
+                    continue;
+                }
+                let (u_nzq, _) = bins.node_nonzero(u_id);
+                let u_nzb = bins.node_nonzero_bins(u_id);
+                let lo_s = (u_nzb[0] + v_nzb[0]) as usize;
+                let hi_s = (u_nzb[un - 1] + v_nzb[vn - 1]) as usize;
+                if hi_s - lo_s + 1 < un * vn {
+                    for i in 0..un {
+                        for j in 0..vn {
+                            conv_w[(u_nzb[i] + v_nzb[j]) as usize] += u_nzq[i] * v_nzq[j];
+                        }
+                    }
+                    for w in &mut conv_w[lo_s..=hi_s] {
+                        if *w != 0.0 {
+                            tile += 1;
+                        }
+                        *w = 0.0;
+                    }
+                } else {
+                    tile += (un * vn) as u64;
+                }
+            }
+            st.tile_entries += tile;
+            st.padded_lanes += tile.div_ceil(8) * 8;
+        }
+        st
     }
 
     /// Exact per-ordinal execution work given the charge histograms —
@@ -884,13 +1259,140 @@ impl EnergyLists {
             + (self.far.capacity() + self.near.capacity()) * std::mem::size_of::<NodeId>()
             + (self.trav_steps.capacity() + self.near_work.capacity())
                 * std::mem::size_of::<f64>()
+            + self.near_w.capacity() * std::mem::size_of::<u8>()
     }
+}
+
+/// Reusable scratch of the tiled energy kernels: the gathered near SoA
+/// tile, the shared pass buffers, the far bin-pair tile, and the far
+/// staging arrays. Grow-only — buffers warm to the largest tile seen and
+/// steady-state execution allocates nothing. One per executing worker
+/// (kept in [`crate::arena::Workspace`] / its chunk slots).
+#[derive(Clone, Debug, Default)]
+pub struct EnergyExecScratch {
+    /// Gathered near-partner atoms: coordinates, weighted charge, radius.
+    tx: Vec<f64>,
+    ty: Vec<f64>,
+    tz: Vec<f64>,
+    tq: Vec<f64>,
+    tr: Vec<f64>,
+    /// Pass buffers shared by the near and far kernels: squared distance,
+    /// radius product, exp argument, exp result (overwritten by `1/f_GB`).
+    rsq: Vec<f64>,
+    rr: Vec<f64>,
+    arg: Vec<f64>,
+    ex: Vec<f64>,
+    /// Far bin-pair tile: squared centroid distance, radius product
+    /// (table-read), charge-product weight.
+    fd2: Vec<f64>,
+    frr: Vec<f64>,
+    fw: Vec<f64>,
+    /// Far staging: per-pair squared distance and class (nonzero-bin
+    /// count), counting-sort cursors, class-sorted pair order.
+    pair_d2: Vec<f64>,
+    pair_cls: Vec<u32>,
+    cls_cursor: Vec<u32>,
+    pair_order: Vec<u32>,
+    /// Convolution accumulator over `s = i+j` (`2K−1` slots, kept zeroed
+    /// between pairs by resetting only the touched span).
+    conv_w: Vec<f64>,
+}
+
+impl EnergyExecScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        (self.tx.capacity()
+            + self.ty.capacity()
+            + self.tz.capacity()
+            + self.tq.capacity()
+            + self.tr.capacity()
+            + self.rsq.capacity()
+            + self.rr.capacity()
+            + self.arg.capacity()
+            + self.ex.capacity()
+            + self.fd2.capacity()
+            + self.frr.capacity()
+            + self.fw.capacity()
+            + self.pair_d2.capacity()
+            + self.conv_w.capacity())
+            * std::mem::size_of::<f64>()
+            + (self.pair_cls.capacity()
+                + self.cls_cursor.capacity()
+                + self.pair_order.capacity())
+                * std::mem::size_of::<u32>()
+    }
+}
+
+/// Shape statistics of the far-field tiles (bench observability).
+#[derive(Clone, Debug, Default)]
+pub struct FarStats {
+    /// Total far `(U, V)` list entries.
+    pub pair_count: u64,
+    /// Tile entries actually evaluated (after convolution collapse and
+    /// zero-hole skipping).
+    pub tile_entries: u64,
+    /// Entries the full `nnz_U × nnz_V` product would evaluate — the billed
+    /// work; `tile_entries / product_entries` is the convolution saving.
+    pub product_entries: u64,
+    /// Tile entries rounded up to full 8-lane groups, one tail per ordinal
+    /// tile; `tile_entries / padded_lanes` is the ZMM lane occupancy.
+    pub padded_lanes: u64,
+    /// Far pairs per `U`-class (nonzero-bin count of the internal node),
+    /// indexed `0..=num_bins`.
+    pub class_pairs: Vec<u64>,
+}
+
+/// Grows `v` to at least `n` elements (never shrinks — capacity is the
+/// zero-alloc steady state).
+#[inline]
+fn ensure_len(v: &mut Vec<f64>, n: usize) {
+    if v.len() < n {
+        v.resize(n, 0.0);
+    }
+}
+
+#[inline]
+fn ensure_len_u32(v: &mut Vec<u32>, n: usize) {
+    if v.len() < n {
+        v.resize(n, 0);
+    }
+}
+
+/// Strided-8 weighted dot `Σ w[i]·x[i]`: eight independent accumulators
+/// plus a scalar tail, combined pairwise. Plain Rust, so identical machine
+/// code (and bits) at every `GB_SIMD` level; the fixed stride fixes the
+/// reduction order regardless of tile length.
+#[inline]
+fn dot8(w: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(w.len(), x.len());
+    let n = w.len();
+    let mut s = [0.0f64; 8];
+    let mut k = 0usize;
+    while k + 8 <= n {
+        for l in 0..8 {
+            s[l] += w[k + l] * x[k + l];
+        }
+        k += 8;
+    }
+    let mut tail = 0.0;
+    while k < n {
+        tail += w[k] * x[k];
+        k += 1;
+    }
+    ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7])) + tail
 }
 
 /// Exact energy sum of one ordered `(U leaf, V leaf)` pair over the
 /// struct-of-arrays atom streams, four-way accumulated. No zero-distance
 /// guard: `f_GB(0, R_u R_v) = √(R_u R_v)` is finite and the self terms are
-/// part of Eq. 2.
+/// part of Eq. 2. Superseded in production by the gathered near tile
+/// ([`EnergyLists::execute_leaf`]); kept as the per-pair reference kernel
+/// the property tests mirror the tile against.
+#[cfg_attr(not(test), allow(dead_code))]
 #[inline]
 fn energy_pair_batched<M: MathMode>(
     sys: &GbSystem,
@@ -1039,31 +1541,121 @@ mod tests {
         }
     }
 
+    /// Born radii + bins of a system, the energy kernels' common setup.
+    fn radii_and_bins(sys: &GbSystem) -> (Vec<f64>, ChargeBins) {
+        let mut acc = IntegralAcc::zeros(sys);
+        let mut stack = Vec::new();
+        for &q in sys.tq.leaves() {
+            accumulate_qleaf::<ExactMath, R6>(sys, q, &mut acc, &mut stack);
+        }
+        let mut radii_tree = vec![0.0; sys.num_atoms()];
+        push_integrals_to_atoms::<R6>(sys, &acc, 0..sys.num_atoms(), &mut radii_tree);
+        let bins = ChargeBins::compute(sys, &radii_tree);
+        (radii_tree, bins)
+    }
+
     #[test]
     fn energy_list_execution_matches_traversal() {
         for n in [1usize, 9, 350] {
             let sys = system(n);
-            let mut acc = IntegralAcc::zeros(&sys);
-            let mut stack = Vec::new();
-            for &q in sys.tq.leaves() {
-                accumulate_qleaf::<ExactMath, R6>(&sys, q, &mut acc, &mut stack);
-            }
-            let mut radii_tree = vec![0.0; sys.num_atoms()];
-            push_integrals_to_atoms::<R6>(&sys, &acc, 0..sys.num_atoms(), &mut radii_tree);
-            let bins = ChargeBins::compute(&sys, &radii_tree);
+            let (radii_tree, bins) = radii_and_bins(&sys);
 
             let lists = EnergyLists::build(&sys);
             assert_eq!(lists.num_vleaves(), sys.ta.num_leaves());
             let costs = lists.leaf_costs(&sys, &bins);
             let mut stack = Vec::new();
+            let mut scratch = EnergyExecScratch::new();
+            let mut raw_t = 0.0;
+            let mut raw_l = 0.0;
             for (ord, &v) in sys.ta.leaves().iter().enumerate() {
                 let (rt, wt) = energy_for_leaf::<ExactMath>(&sys, &bins, &radii_tree, v, &mut stack);
-                let (rl, wl) = lists.execute_leaf::<ExactMath>(&sys, &bins, &radii_tree, ord);
+                let (rl, wl) =
+                    lists.execute_leaf::<ExactMath>(&sys, &bins, &radii_tree, ord, &mut scratch);
+                // billed work is replicated bit for bit per ordinal even
+                // though symmetric halving moves the *flops* around
                 assert_eq!(wl, wt, "n={n} ord={ord}: work");
                 assert_eq!(costs[ord], wl, "n={n} ord={ord}: cost model");
-                assert!(close(rt, rl), "n={n} ord={ord}: raw {rt} vs {rl}");
+                raw_t += rt;
+                raw_l += rl;
+            }
+            // per-ordinal raws differ by design (a symmetric pair's two
+            // halves land on its owner), but the total must agree with the
+            // traversal within the reassociation band
+            assert!(close(raw_t, raw_l), "n={n}: raw {raw_t} vs {raw_l}");
+        }
+    }
+
+    #[test]
+    fn split_energy_execution_equals_whole_execution() {
+        // summing over disjoint ordinal ranges (each with its own scratch)
+        // reproduces the whole-range execution bit for bit — the runners'
+        // partition contract, which halving must not break
+        let sys = system(300);
+        let (radii_tree, bins) = radii_and_bins(&sys);
+        let lists = EnergyLists::build(&sys);
+        let n = lists.num_vleaves();
+        let mut scratch = EnergyExecScratch::new();
+        let (raw_whole, w_whole) =
+            lists.execute_leaves::<ExactMath>(&sys, &bins, &radii_tree, 0..n, &mut scratch);
+        let costs = lists.leaf_costs(&sys, &bins);
+        for p in [2usize, 3, 5] {
+            let mut raw = 0.0;
+            let mut w = 0.0;
+            for seg in crate::workdiv::work_balanced_segments(&costs, p) {
+                let mut local = EnergyExecScratch::new();
+                let (r, dw) =
+                    lists.execute_leaves::<ExactMath>(&sys, &bins, &radii_tree, seg, &mut local);
+                raw += r;
+                w += dw;
+            }
+            // segment boundaries reassociate the (deterministic) per-leaf
+            // partials — same contract as the runners' chunk merges
+            assert!(close(raw, raw_whole), "p={p}: {raw} vs {raw_whole}");
+            assert!(close(w, w_whole), "p={p}: work {w} vs {w_whole}");
+        }
+    }
+
+    #[test]
+    fn far_execution_bills_the_scalar_work_exactly() {
+        // the far tile's work units must equal the scalar path's
+        // Σ nnz_U · nnz_V regardless of convolution collapse, and the
+        // far+near split must reassemble the full billed work
+        let sys = system(350);
+        let (radii_tree, bins) = radii_and_bins(&sys);
+        let lists = EnergyLists::build(&sys);
+        let n = lists.num_vleaves();
+        let mut scratch = EnergyExecScratch::new();
+        let (_, far_w) =
+            lists.execute_far::<ExactMath>(&sys, &bins, 0..n, &mut scratch);
+        let (far_off, far) = lists.far_csr();
+        let mut expect = 0.0;
+        for ord in 0..n {
+            let vn = bins.num_nonzero(sys.ta.leaves()[ord]) as f64;
+            for &u in &far[far_off[ord]..far_off[ord + 1]] {
+                expect += bins.num_nonzero(u) as f64 * vn;
             }
         }
+        assert_eq!(far_w.to_bits(), expect.to_bits());
+        let (_, total_w) =
+            lists.execute_leaves::<ExactMath>(&sys, &bins, &radii_tree, 0..n, &mut scratch);
+        let costs = lists.leaf_costs(&sys, &bins);
+        assert_eq!(total_w.to_bits(), costs.iter().sum::<f64>().to_bits());
+        let stats = lists.far_stats(&sys, &bins);
+        assert_eq!(stats.pair_count as usize, far.len());
+        // class histogram covers every far pair whose V has charge
+        let staged: u64 = (0..n)
+            .map(|ord| {
+                if bins.num_nonzero(sys.ta.leaves()[ord]) == 0 {
+                    0
+                } else {
+                    (far_off[ord + 1] - far_off[ord]) as u64
+                }
+            })
+            .sum();
+        assert_eq!(stats.class_pairs.iter().sum::<u64>(), staged);
+        assert_eq!(stats.product_entries as f64, far_w);
+        assert!(stats.tile_entries <= stats.product_entries);
+        assert!(stats.tile_entries <= stats.padded_lanes);
     }
 
     #[test]
@@ -1087,22 +1679,42 @@ mod tests {
 
     #[test]
     fn parallel_build_is_byte_identical() {
+        // floor == 1 forces real multi-task splits at these sizes (the
+        // production MIN_TASK_LEAVES floor would keep them serial)
         for n in [1usize, 9, 350] {
             let sys = system(n);
             let b1 = BornLists::build(&sys);
             let e1 = EnergyLists::build(&sys);
             for tasks in [2usize, 3, 7, 64] {
-                let bt = BornLists::build_tasks(&sys, tasks);
+                let mut bt = BornLists::empty();
+                let mut scratch = ListScratch::new();
+                bt.rebuild_with_task_floor(&sys, tasks, &mut scratch, 1);
                 assert_eq!(b1, bt, "n={n} tasks={tasks}: born lists");
                 for (a, b) in b1.leaf_work.iter().zip(&bt.leaf_work) {
                     assert_eq!(a.to_bits(), b.to_bits(), "n={n} tasks={tasks}");
                 }
                 assert_eq!(b1.build_work.to_bits(), bt.build_work.to_bits());
-                let et = EnergyLists::build_tasks(&sys, tasks);
+                let mut et = EnergyLists::empty();
+                et.rebuild_with_task_floor(&sys, tasks, &mut scratch, 1);
                 assert_eq!(e1, et, "n={n} tasks={tasks}: energy lists");
                 assert_eq!(e1.build_work.to_bits(), et.build_work.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn task_floor_caps_split_counts() {
+        // the production floor keeps small builds serial (the measured
+        // win/lose boundary), while byte-identity makes it purely a
+        // scheduling decision: floored and unfloored builds agree
+        let sys = system(350);
+        let mut scratch = ListScratch::new();
+        let mut floored = EnergyLists::empty();
+        floored.rebuild(&sys, 64, &mut scratch);
+        let mut split = EnergyLists::empty();
+        split.rebuild_with_task_floor(&sys, 64, &mut scratch, 1);
+        assert_eq!(floored, split);
+        assert!(sys.ta.num_leaves() < MIN_TASK_LEAVES);
     }
 
     #[test]
@@ -1113,9 +1725,9 @@ mod tests {
         let mut energy = EnergyLists::empty();
         for (n, tasks) in [(120usize, 2usize), (350, 3), (60, 1), (350, 5)] {
             let sys = system(n);
-            born.rebuild(&sys, tasks, &mut scratch);
+            born.rebuild_with_task_floor(&sys, tasks, &mut scratch, 1);
             assert_eq!(born, BornLists::build(&sys), "n={n} tasks={tasks}");
-            energy.rebuild(&sys, tasks, &mut scratch);
+            energy.rebuild_with_task_floor(&sys, tasks, &mut scratch, 1);
             assert_eq!(energy, EnergyLists::build(&sys), "n={n} tasks={tasks}");
         }
         assert!(scratch.memory_bytes() > 0);
@@ -1135,18 +1747,157 @@ mod tests {
         let expect = (e.far_off.capacity() + e.near_off.capacity())
             * std::mem::size_of::<usize>()
             + (e.far.capacity() + e.near.capacity()) * std::mem::size_of::<NodeId>()
-            + (e.trav_steps.capacity() + e.near_work.capacity()) * std::mem::size_of::<f64>();
+            + (e.trav_steps.capacity() + e.near_work.capacity()) * std::mem::size_of::<f64>()
+            + e.near_w.capacity() * std::mem::size_of::<u8>();
         assert_eq!(e.memory_bytes(), expect);
         // scratch reports spans + per-task buffers + expansion arrays
         let mut scratch = ListScratch::new();
         let mut lists = BornLists::empty();
-        lists.rebuild(&sys, 3, &mut scratch);
+        lists.rebuild_with_task_floor(&sys, 3, &mut scratch, 1);
         let expect = scratch.spans.memory_bytes()
             + scratch.segs.iter().map(WalkSeg::memory_bytes).sum::<usize>()
             + scratch.segs.capacity() * std::mem::size_of::<WalkSeg>()
             + scratch.diff.capacity() * std::mem::size_of::<i64>()
-            + scratch.cursor.capacity() * std::mem::size_of::<usize>();
+            + scratch.cursor.capacity() * std::mem::size_of::<usize>()
+            + (scratch.ord_of.capacity() + scratch.near_ords.capacity())
+                * std::mem::size_of::<u32>();
         assert_eq!(scratch.memory_bytes(), expect);
+        // exec scratch likewise sums every buffer
+        let (radii_tree, bins) = radii_and_bins(&sys);
+        let elists = EnergyLists::build(&sys);
+        let mut exec = EnergyExecScratch::new();
+        assert_eq!(exec.memory_bytes(), 0);
+        elists.execute_leaves::<ExactMath>(
+            &sys,
+            &bins,
+            &radii_tree,
+            0..elists.num_vleaves(),
+            &mut exec,
+        );
+        assert!(exec.memory_bytes() > 0);
+    }
+
+    /// Evaluates a staged `(d², RiRj, weight)` tile through the pass-split
+    /// microkernel with the packed exp pinned to an explicit `GB_SIMD`
+    /// level — the in-process mirror of what `far_tile_raw::<VectorMath>`
+    /// runs at that level.
+    fn eval_tile_at(level: SimdLevel, fd2: &[f64], frr: &[f64], fw: &[f64]) -> f64 {
+        let t = fd2.len();
+        let mut arg = vec![0.0; t];
+        let mut ex = vec![0.0; t];
+        for i in 0..t {
+            arg[i] = (-fd2[i]) / (4.0 * frr[i]);
+        }
+        crate::simd::vector_exp_block_at(level, &arg, &mut ex);
+        for i in 0..t {
+            ex[i] = crate::fastmath::VectorMath::rsqrt(fd2[i] + frr[i] * ex[i]);
+        }
+        dot8(fw, &ex)
+    }
+
+    #[test]
+    fn bin_pair_microkernel_matches_scalar_mirror_across_levels() {
+        use crate::fastmath::VectorMath;
+        // synthetic nonzero histograms per K: dense, empty, single-entry,
+        // and a sparse subset (mixed-sign charges)
+        for k in [1usize, 2, 7, 32] {
+            let eps = 0.3f64;
+            let bin_radius: Vec<f64> =
+                (0..k).map(|i| 0.8 * (1.0 + eps).powi(i as i32)).collect();
+            let mut pair_rr = Vec::new();
+            let mut conv_radius = Vec::new();
+            crate::bins::pair_tables_into(&bin_radius, &mut pair_rr, &mut conv_radius);
+
+            let dense: Vec<(u32, f64)> = (0..k)
+                .map(|i| (i as u32, if i % 2 == 0 { 0.7 + i as f64 } else { -(0.3 + i as f64) }))
+                .collect();
+            let empty: Vec<(u32, f64)> = Vec::new();
+            let single = vec![((k / 2) as u32, -1.25f64)];
+            let sparse: Vec<(u32, f64)> =
+                (0..k).step_by(3).map(|i| (i as u32, 0.5 - i as f64 * 0.11)).collect();
+            let cases = [dense, empty, single, sparse];
+
+            for (ci, u_nz) in cases.iter().enumerate() {
+                for (cj, v_nz) in cases.iter().enumerate() {
+                    let d_sq = 37.5 + (ci + cj) as f64;
+                    // scalar mirror: the pre-tile nested contraction (L1 norm
+                    // tracked so the tolerance survives sign cancellation)
+                    let mut mirror = 0.0;
+                    let mut mirror_l1 = 0.0;
+                    for &(bi, qi) in u_nz {
+                        for &(bj, qj) in v_nz {
+                            let rr = bin_radius[bi as usize] * bin_radius[bj as usize];
+                            let term = qi * qj * inv_f_gb::<VectorMath>(d_sq, rr);
+                            mirror += term;
+                            mirror_l1 += term.abs();
+                        }
+                    }
+                    // full-K² tile: table-read radius products, i-major
+                    let mut fd2 = Vec::new();
+                    let mut frr = Vec::new();
+                    let mut fw = Vec::new();
+                    for &(bi, qi) in u_nz {
+                        for &(bj, qj) in v_nz {
+                            fd2.push(d_sq);
+                            frr.push(pair_rr[bi as usize * k + bj as usize]);
+                            fw.push(qi * qj);
+                        }
+                    }
+                    // conv tile: collapse onto s = i + j, skip zero holes
+                    let mut conv_w = vec![0.0; conv_radius.len()];
+                    for &(bi, qi) in u_nz {
+                        for &(bj, qj) in v_nz {
+                            conv_w[(bi + bj) as usize] += qi * qj;
+                        }
+                    }
+                    let mut cd2 = Vec::new();
+                    let mut crr = Vec::new();
+                    let mut cw = Vec::new();
+                    for (s, &w) in conv_w.iter().enumerate() {
+                        if w != 0.0 {
+                            cd2.push(d_sq);
+                            crr.push(conv_radius[s]);
+                            cw.push(w);
+                        }
+                    }
+
+                    let mut levels = vec![SimdLevel::Scalar, SimdLevel::Portable];
+                    #[cfg(target_arch = "x86_64")]
+                    {
+                        if is_x86_feature_detected!("avx2") {
+                            levels.push(SimdLevel::Avx2);
+                        }
+                        if is_x86_feature_detected!("avx512f") {
+                            levels.push(SimdLevel::Avx512);
+                        }
+                    }
+                    let full0 = eval_tile_at(levels[0], &fd2, &frr, &fw);
+                    let conv0 = eval_tile_at(levels[0], &cd2, &crr, &cw);
+                    for &lv in &levels {
+                        // every GB_SIMD level produces identical bits
+                        let full = eval_tile_at(lv, &fd2, &frr, &fw);
+                        assert_eq!(full.to_bits(), full0.to_bits(), "K={k} {ci}x{cj} {lv:?}");
+                        let conv = eval_tile_at(lv, &cd2, &crr, &cw);
+                        assert_eq!(conv.to_bits(), conv0.to_bits(), "K={k} {ci}x{cj} {lv:?}");
+                    }
+                    // both tile shapes agree with the mirror within the
+                    // reassociation / representative-rounding band
+                    let tol = 1e-12 * mirror_l1.max(1.0);
+                    assert!(
+                        (full0 - mirror).abs() <= tol,
+                        "K={k} {ci}x{cj} full: {full0} vs {mirror}"
+                    );
+                    assert!(
+                        (conv0 - mirror).abs() <= tol,
+                        "K={k} {ci}x{cj} conv: {conv0} vs {mirror}"
+                    );
+                    if u_nz.is_empty() || v_nz.is_empty() {
+                        assert_eq!(full0, 0.0);
+                        assert_eq!(conv0, 0.0);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

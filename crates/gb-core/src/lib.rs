@@ -63,7 +63,7 @@ pub mod workdiv;
 
 pub use commplan::{CommMode, CommPlan};
 pub use error::{percent_error, ErrorStats, GbError};
-pub use interaction::{BornLists, EnergyLists};
+pub use interaction::{BornLists, EnergyExecScratch, EnergyLists, FarStats};
 pub use gbmath::COULOMB_KCAL;
 pub use params::{GbParams, MathKind, RadiiKind};
 pub use system::{GbResult, GbSystem};

@@ -201,9 +201,10 @@ fn modeled_run_impl<M: MathMode, K: RadiiApprox>(
     let mut raw = 0.0;
     {
         let energy = EnergyLists::build(sys);
+        let mut exec_scratch = crate::interaction::EnergyExecScratch::new();
         let mut leaf_works = Vec::with_capacity(energy.num_vleaves());
         for ord in 0..energy.num_vleaves() {
-            let (r, w) = energy.execute_leaf::<M>(sys, &bins, &radii_tree, ord);
+            let (r, w) = energy.execute_leaf::<M>(sys, &bins, &radii_tree, ord, &mut exec_scratch);
             raw += r;
             leaf_works.push(w);
         }

@@ -413,9 +413,13 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
                 .rebuild(sys, ws.build_tasks, &mut ws.energy_scratch);
             let costs = ws.energy.leaf_costs(sys, bins);
             work_balanced_segments_into(&costs, p, &mut ws.seg_ranges);
-            let (raw, exec) =
-                ws.energy
-                    .execute_leaves::<M>(sys, bins, &radii_tree, ws.seg_ranges[rank].clone());
+            let (raw, exec) = ws.energy.execute_leaves::<M>(
+                sys,
+                bins,
+                &radii_tree,
+                ws.seg_ranges[rank].clone(),
+                &mut ws.energy_exec,
+            );
             (raw, ws.energy.build_work + exec)
         }
         WorkDivision::AtomNode => {

@@ -14,6 +14,7 @@ use crate::error::GbError;
 use crate::fastmath::{ApproxMath, ExactMath, MathMode};
 use crate::gbmath::{finalize_energy, RadiiApprox, R4, R6};
 use crate::integrals::{push_integrals_scratch, IntegralAcc};
+use crate::interaction::EnergyExecScratch;
 use crate::params::{MathKind, RadiiKind};
 use crate::runners::sparse::{publish_to_consumers, reduce_to_owners_single};
 use crate::runners::{bin_build_work, with_kernels};
@@ -345,14 +346,14 @@ fn finish_energy_phase<M: MathMode>(
     let costs = energy.leaf_costs(sys, bins);
     work_balanced_segments_into(&costs, p, &mut ws.seg_ranges);
     let seg = ws.seg_ranges[rank].clone();
-    let energy_parts: Vec<Mutex<(f64, f64)>> = (0..pool.workers())
-        .map(|_| Mutex::new((0.0, 0.0)))
+    let energy_parts: Vec<Mutex<(f64, f64, EnergyExecScratch)>> = (0..pool.workers())
+        .map(|_| Mutex::new((0.0, 0.0, EnergyExecScratch::new())))
         .collect();
     let seg_start = seg.start;
     let stats = pool.run(seg.len(), steal_seed ^ 0x77, |wid, task| {
         let mut slot = energy_parts[wid].lock();
-        let (raw, w) = &mut *slot;
-        let (r, dw) = energy.execute_leaf::<M>(sys, bins, &radii_tree, seg_start + task);
+        let (raw, w, scratch) = &mut *slot;
+        let (r, dw) = energy.execute_leaf::<M>(sys, bins, &radii_tree, seg_start + task, scratch);
         *raw += r;
         *w += dw;
     });

@@ -67,8 +67,13 @@ pub fn run_serial_ws(sys: &GbSystem, ws: &mut Workspace) -> WsOutput {
         // Energy phase: same split over (T_A, T_A).
         ws.energy.rebuild(sys, ws.build_tasks, &mut ws.energy_scratch);
         ws.bins.recompute(sys, &ws.radii_tree);
-        let (raw, exec_work) =
-            ws.energy.execute_leaves::<M>(sys, &ws.bins, &ws.radii_tree, 0..ws.energy.num_vleaves());
+        let (raw, exec_work) = ws.energy.execute_leaves::<M>(
+            sys,
+            &ws.bins,
+            &ws.radii_tree,
+            0..ws.energy.num_vleaves(),
+            &mut ws.energy_exec,
+        );
         let energy_work = ws.energy.build_work + exec_work;
         let energy_kcal = finalize_energy(raw, sys.params.tau());
 

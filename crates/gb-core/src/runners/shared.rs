@@ -119,8 +119,14 @@ pub fn run_shared_ws(sys: &GbSystem, ws: &mut Workspace) -> WsOutput {
             let ranges = &ws.leaf_ranges;
             (0..chunks).into_par_iter().for_each(|c| {
                 let mut slot = slots[c].lock();
-                let (raw, w) =
-                    energy.execute_leaves::<M>(sys, bins, radii_tree, ranges[c].clone());
+                let slot = &mut *slot;
+                let (raw, w) = energy.execute_leaves::<M>(
+                    sys,
+                    bins,
+                    radii_tree,
+                    ranges[c].clone(),
+                    &mut slot.energy_exec,
+                );
                 slot.raw = raw;
                 slot.energy_work = w;
             });

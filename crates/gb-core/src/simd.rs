@@ -386,6 +386,63 @@ pub fn energy_pair8(
     None
 }
 
+/// Whole-slice [`poly_exp`]: `out[t] = poly_exp(args[t])` at the active
+/// level — ZMM 8-lane chunks at `Avx512` (trailing 4-lane chunk through the
+/// YMM kernel), YMM chunks at `Avx2`, the portable lane-map at `Portable`,
+/// and the plain scalar loop otherwise. Every element is bit-identical
+/// across levels (the packed kernels replay the scalar op sequence), so the
+/// tile kernels built on this are `to_bits()`-stable under `GB_SIMD`.
+#[inline]
+pub fn vector_exp_block(args: &[f64], out: &mut [f64]) {
+    vector_exp_block_at(SimdLevel::active(), args, out)
+}
+
+/// [`vector_exp_block`] pinned to an explicit level — the property tests
+/// sweep levels inside one process (the env-selected level is a `OnceLock`,
+/// so they cannot flip `GB_SIMD` and re-dispatch).
+pub(crate) fn vector_exp_block_at(level: SimdLevel, args: &[f64], out: &mut [f64]) {
+    assert_eq!(args.len(), out.len());
+    let n = args.len();
+    let mut k = 0usize;
+    #[cfg(target_arch = "x86_64")]
+    {
+        if level == SimdLevel::Avx512 {
+            while k + 2 * LANES <= n {
+                let mut x = [0.0f64; 2 * LANES];
+                x.copy_from_slice(&args[k..k + 2 * LANES]);
+                // SAFETY: Avx512 is only selected when avx512f is detected.
+                let e = unsafe { avx512::exp8(x) };
+                out[k..k + 2 * LANES].copy_from_slice(&e);
+                k += 2 * LANES;
+            }
+        }
+        if matches!(level, SimdLevel::Avx2 | SimdLevel::Avx512) {
+            while k + LANES <= n {
+                let mut x = [0.0f64; LANES];
+                x.copy_from_slice(&args[k..k + LANES]);
+                // SAFETY: both levels are only selected when avx2+fma are
+                // detected.
+                let e = unsafe { avx2::exp4(x) };
+                out[k..k + LANES].copy_from_slice(&e);
+                k += LANES;
+            }
+        }
+    }
+    if level == SimdLevel::Portable {
+        while k + LANES <= n {
+            let mut x = [0.0f64; LANES];
+            x.copy_from_slice(&args[k..k + LANES]);
+            let e = poly_exp4_portable(x);
+            out[k..k + LANES].copy_from_slice(&e);
+            k += LANES;
+        }
+    }
+    while k < n {
+        out[k] = poly_exp(args[k]);
+        k += 1;
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Reciprocal cube root (PUSH-INTEGRALS radius conversion, r⁶ form)
 // ---------------------------------------------------------------------------
@@ -712,6 +769,22 @@ pub(crate) mod avx512 {
         _mm512_mul_pd(e, scale)
     }
 
+    /// Packed 8-lane exponential; lanes below `EXP_LO` flush to zero like
+    /// the scalar kernel — the ZMM widening of [`super::avx2::exp4`].
+    ///
+    /// # Safety
+    /// Requires `avx512f` (checked by [`SimdLevel::active`]).
+    #[target_feature(enable = "avx512f")]
+    pub(crate) unsafe fn exp8(x: [f64; W]) -> [f64; W] {
+        let vx = _mm512_loadu_pd(x.as_ptr());
+        let result = exp_pd_clamped(vx);
+        let live = _mm512_cmp_pd_mask::<_CMP_GE_OQ>(vx, _mm512_set1_pd(EXP_LO));
+        let masked = _mm512_maskz_mov_pd(live, result);
+        let mut out = [0.0; W];
+        _mm512_storeu_pd(out.as_mut_ptr(), masked);
+        out
+    }
+
     /// One `u` atom against a `v`-leaf span at 8 lanes per iteration — the
     /// ZMM widening of [`super::avx2::energy_row`]. One 8-lane chunk is
     /// accumulated as two consecutive 4-lane chunks (accumulator `l` takes
@@ -944,6 +1017,33 @@ mod tests {
                     "lane {l} of {x:?} at level {:?}",
                     SimdLevel::active()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn vector_exp_block_matches_scalar_bitwise_at_every_level() {
+        // odd length so every level exercises its masked/scalar tail
+        let args: Vec<f64> =
+            (0..37).map(|i| -0.37 * i as f64 * i as f64 + 0.11 * i as f64).collect();
+        let mut levels = vec![SimdLevel::Scalar, SimdLevel::Portable];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                levels.push(SimdLevel::Avx2);
+                if std::arch::is_x86_feature_detected!("avx512f") {
+                    levels.push(SimdLevel::Avx512);
+                }
+            }
+        }
+        let mut out = vec![0.0; args.len()];
+        for level in levels {
+            out.iter_mut().for_each(|v| *v = f64::NAN);
+            vector_exp_block_at(level, &args, &mut out);
+            for (t, (&a, &o)) in args.iter().zip(&out).enumerate() {
+                assert_eq!(o.to_bits(), poly_exp(a).to_bits(), "t={t} at {level:?}");
             }
         }
     }

