@@ -20,9 +20,48 @@ use crate::bins::ChargeBins;
 use crate::commplan::CommPlan;
 use crate::integrals::IntegralAcc;
 use crate::interaction::{BornLists, EnergyExecScratch, EnergyLists, ListScratch};
+use crate::system::GbSystem;
 use gb_octree::NodeId;
 use parking_lot::Mutex;
 use std::ops::Range;
+use std::sync::Arc;
+
+/// Immutable own-surface interaction lists shared across workspaces — the
+/// tier-2 artifact of the serving layer's content-hash cache. Built once
+/// per `(molecule, params)` content key and injected into any number of
+/// [`Workspace`]s via [`Workspace::inject_lists`]; because list builds are
+/// deterministic, the injected copy is byte-identical to what the
+/// workspace would have rebuilt itself, so caching changes wall-clock
+/// only — never results and never the billed work units (`build_work`
+/// rides along inside the cloned lists).
+#[derive(Debug)]
+pub struct CachedLists {
+    /// Content key ([`crate::contenthash::system_key`]) the lists were
+    /// built for — callers must only inject into a workspace about to run
+    /// a system with the same key.
+    pub key: u64,
+    /// Born-phase lists of the full system.
+    pub born: BornLists,
+    /// Energy-phase lists of the full system.
+    pub energy: EnergyLists,
+}
+
+impl CachedLists {
+    /// Builds both phase lists for `sys`, tagged with its content key.
+    pub fn build(sys: &GbSystem, key: u64) -> CachedLists {
+        CachedLists {
+            key,
+            born: BornLists::build(sys),
+            energy: EnergyLists::build(sys),
+        }
+    }
+
+    /// Heap footprint in bytes — what the serve cache's LRU budget charges
+    /// for a tier-2 entry.
+    pub fn memory_bytes(&self) -> usize {
+        self.born.memory_bytes() + self.energy.memory_bytes()
+    }
+}
 
 /// Per-chunk scratch for the shared-memory runner: one slot per work
 /// chunk, locked only by the worker executing that chunk (and by the
@@ -208,6 +247,12 @@ pub struct Workspace {
     /// for any value; `1` keeps the build on the calling thread and inside
     /// the zero-alloc contract).
     pub build_tasks: usize,
+    /// Injected pre-built interaction lists (the serve layer's tier-2 cache
+    /// hit). When set, [`Workspace::ready_born_lists`] /
+    /// [`Workspace::ready_energy_lists`] clone from here instead of walking
+    /// the trees. Not counted by [`Workspace::memory_bytes`] — the `Arc` is
+    /// shared and the cache bills it once.
+    pub cached: Option<Arc<CachedLists>>,
 }
 
 impl Workspace {
@@ -236,6 +281,7 @@ impl Workspace {
             checkpoint: SuperstepCheckpoint::new(),
             replicated_billed: false,
             build_tasks: 1,
+            cached: None,
         }
     }
 
@@ -251,6 +297,44 @@ impl Workspace {
     pub fn ensure_slots(&mut self, n: usize) {
         while self.slots.len() < n {
             self.slots.push(Mutex::new(ChunkSlot::new()));
+        }
+    }
+
+    /// Injects pre-built lists for the next run (tier-2 cache hit), or
+    /// clears the injection with `None`. The caller owns the key contract:
+    /// the lists must have been built for a system with the same content
+    /// key as the one about to run.
+    pub fn inject_lists(&mut self, cached: Option<Arc<CachedLists>>) {
+        self.cached = cached;
+    }
+
+    /// Makes `self.born` current for `sys`: clones from the injected cached
+    /// artifact when present, otherwise rebuilds in place. Every runner
+    /// calls this instead of rebuilding directly, so an injected artifact
+    /// flows through serial, distributed and hybrid paths alike. The two
+    /// branches produce byte-identical lists (builds are deterministic and
+    /// `build_work` travels inside the clone), so work accounting and
+    /// energies cannot observe which branch ran.
+    pub fn ready_born_lists(&mut self, sys: &GbSystem) {
+        match &self.cached {
+            Some(c) => {
+                debug_assert_eq!(c.born.num_qleaves(), sys.tq.num_leaves(),
+                    "injected Born lists were built for a different system");
+                self.born.clone_from(&c.born);
+            }
+            None => self.born.rebuild(sys, self.build_tasks, &mut self.born_scratch),
+        }
+    }
+
+    /// [`Workspace::ready_born_lists`] for the energy-phase lists.
+    pub fn ready_energy_lists(&mut self, sys: &GbSystem) {
+        match &self.cached {
+            Some(c) => {
+                debug_assert_eq!(c.energy.num_vleaves(), sys.ta.num_leaves(),
+                    "injected energy lists were built for a different system");
+                self.energy.clone_from(&c.energy);
+            }
+            None => self.energy.rebuild(sys, self.build_tasks, &mut self.energy_scratch),
         }
     }
 

@@ -35,6 +35,7 @@ use crate::gbmath::{inv_f_gb, RadiiApprox};
 use crate::integrals::{well_separated, IntegralAcc, TRAVERSAL_UNIT};
 use crate::simd::SimdLevel;
 use crate::system::GbSystem;
+use gb_geom::Vec3;
 use gb_octree::{LeafSpans, Node, NodeId, Octree};
 use std::ops::Range;
 
@@ -223,8 +224,10 @@ pub struct BornLists {
 /// whole-range build byte for byte. A pop is *owned* (charged a traversal
 /// unit) by the one task whose range contains its span start, making
 /// `Σ build_work` the same multiset of exact ¼ units as the serial tally.
+#[allow(clippy::too_many_arguments)]
 fn born_walk_range(
-    sys: &GbSystem,
+    ta: &Octree,
+    tq: &Octree,
     spans: &LeafSpans,
     threshold: f64,
     coef: f64,
@@ -241,8 +244,8 @@ fn born_walk_range(
         if span.start >= lo {
             seg.build_work += TRAVERSAL_UNIT;
         }
-        let a = sys.ta.node(a_id);
-        let q = sys.tq.node(q_id);
+        let a = ta.node(a_id);
+        let q = tq.node(q_id);
         let d = a.centroid.dist(q.centroid);
         let (s, e) = ((span.start.max(lo) - lo) as u32, (span.end.min(hi) - lo) as u32);
 
@@ -344,23 +347,51 @@ impl BornLists {
         scratch: &mut ListScratch,
         floor: usize,
     ) {
-        let nleaves = sys.tq.num_leaves();
+        self.rebuild_trees(&sys.ta, &sys.tq, sys.params.radii_mac_threshold(), tasks, scratch,
+            floor);
+    }
+
+    /// Cross-system list build: walks `(A tree of one system, Q tree of
+    /// another)` with the same certificates and acceptance tests as the
+    /// own-surface walk. This is the docking path's per-pose work — the
+    /// receptor keeps its cached own-surface lists and only the
+    /// receptor×ligand (and ligand×receptor) lists are built here. The
+    /// driving `tq` may be a [`Octree::transformed`] posed copy.
+    pub fn rebuild_cross(
+        &mut self,
+        ta: &Octree,
+        tq: &Octree,
+        threshold: f64,
+        scratch: &mut ListScratch,
+    ) {
+        self.rebuild_trees(ta, tq, threshold, 1, scratch, MIN_TASK_LEAVES);
+    }
+
+    fn rebuild_trees(
+        &mut self,
+        ta: &Octree,
+        tq: &Octree,
+        threshold: f64,
+        tasks: usize,
+        scratch: &mut ListScratch,
+        floor: usize,
+    ) {
+        let nleaves = tq.num_leaves();
         self.far_off.clear();
         self.far.clear();
         self.near_off.clear();
         self.near.clear();
         self.leaf_work.clear();
         self.build_work = 0.0;
-        if sys.ta.is_empty() || sys.tq.is_empty() {
+        if ta.is_empty() || tq.is_empty() {
             self.far_off.resize(nleaves + 1, 0);
             self.near_off.resize(nleaves + 1, 0);
             self.leaf_work.resize(nleaves, 0.0);
             return;
         }
-        let threshold = sys.params.radii_mac_threshold();
         // well_separated(d, ra, rq, t)  ⇔  d ≥ (ra + rq)(t+1)/(t−1)
         let coef = (threshold + 1.0) / (threshold - 1.0);
-        scratch.spans.recompute(&sys.tq);
+        scratch.spans.recompute(tq);
         // never split below `floor` driving leaves per task — the serial
         // stitch would eat the parallel walk's gain (byte-identical lists
         // either way)
@@ -371,12 +402,14 @@ impl BornLists {
         let spans = &scratch.spans;
         let segs = &mut scratch.segs[..ntasks];
         if ntasks == 1 {
-            born_walk_range(sys, spans, threshold, coef, 0, nleaves, &mut segs[0]);
+            born_walk_range(ta, tq, spans, threshold, coef, 0, nleaves, &mut segs[0]);
         } else {
             rayon::scope(|sc| {
                 for (i, seg) in segs.iter_mut().enumerate() {
                     let (lo, hi) = bounds(i);
-                    sc.spawn(move |_| born_walk_range(sys, spans, threshold, coef, lo, hi, seg));
+                    sc.spawn(move |_| {
+                        born_walk_range(ta, tq, spans, threshold, coef, lo, hi, seg)
+                    });
                 }
             });
         }
@@ -405,10 +438,10 @@ impl BornLists {
         // multiples of ¼ well below 2^52, so the sum is exact and equals
         // `accumulate_qleaf`'s incremental tally bit for bit.
         for ord in 0..nleaves {
-            let q_count = sys.tq.node(sys.tq.leaves()[ord]).count() as f64;
+            let q_count = tq.node(tq.leaves()[ord]).count() as f64;
             let mut near_pairs = 0.0;
             for &a_id in &self.near[self.near_off[ord]..self.near_off[ord + 1]] {
-                near_pairs += sys.ta.node(a_id).count() as f64 * q_count;
+                near_pairs += ta.node(a_id).count() as f64 * q_count;
             }
             self.leaf_work[ord] = TRAVERSAL_UNIT * self.leaf_work[ord]
                 + (self.far_off[ord + 1] - self.far_off[ord]) as f64
@@ -496,6 +529,60 @@ impl BornLists {
                     }
                 }
                 born_span_batched::<M, K>(sys, start..end, qx, qy, qz, nx, ny, nz, w, acc);
+            }
+            work += self.leaf_work[ord];
+        }
+        work
+    }
+
+    /// Executes cross lists built by [`BornLists::rebuild_cross`]: the `A`
+    /// side is `ta` (accumulated into `acc` at that tree's node/atom
+    /// slots), the driving quadrature side is the *foreign* tree `tq` with
+    /// its per-node aggregated normals, per-point normals, and per-point
+    /// weights (all in `tq`'s tree order — for a posed ligand these are
+    /// the rotated copies). No SoA mirrors exist for a transient posed
+    /// tree, so both terms run the scalar kernels; the loop order is fixed
+    /// by the lists, so results are deterministic for identical inputs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_cross<M: MathMode, K: RadiiApprox>(
+        &self,
+        ta: &Octree,
+        tq: &Octree,
+        q_agg_normals: &[Vec3],
+        q_normal_tree: &[Vec3],
+        q_weight_tree: &[f64],
+        ords: Range<usize>,
+        acc: &mut IntegralAcc,
+    ) -> f64 {
+        let mut work = 0.0;
+        let a_pts = ta.points();
+        let q_pts = tq.points();
+        for ord in ords {
+            let q_leaf = tq.leaves()[ord];
+            let qn = tq.node(q_leaf);
+            let q_center = qn.centroid;
+            let q_agg = q_agg_normals[q_leaf as usize];
+            for &a_id in &self.far[self.far_off[ord]..self.far_off[ord + 1]] {
+                let a = ta.node(a_id);
+                let delta = q_center - a.centroid;
+                let d2 = delta.norm_sq();
+                acc.node_s[a_id as usize] += q_agg.dot(delta) * K::integrand::<M>(d2);
+            }
+            let qr = qn.range();
+            for &a_id in &self.near[self.near_off[ord]..self.near_off[ord + 1]] {
+                let ar = ta.node(a_id).range();
+                for k in qr.clone() {
+                    let p = q_pts[k];
+                    let m = q_normal_tree[k];
+                    let wk = q_weight_tree[k];
+                    for i in ar.clone() {
+                        let d = p - a_pts[i];
+                        let d2 = d.norm_sq();
+                        if d2 > 0.0 {
+                            acc.atom_s[i] += wk * d.dot(m) * K::integrand::<M>(d2);
+                        }
+                    }
+                }
             }
             work += self.leaf_work[ord];
         }

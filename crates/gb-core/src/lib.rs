@@ -46,6 +46,7 @@
 pub mod balance;
 pub mod bins;
 pub mod commplan;
+pub mod contenthash;
 pub mod energy;
 pub mod error;
 pub mod fastmath;
@@ -55,16 +56,20 @@ pub mod interaction;
 pub mod modeled;
 pub mod naive;
 pub mod arena;
+pub mod pair;
 pub mod params;
 pub mod runners;
 pub mod simd;
 pub mod system;
 pub mod workdiv;
 
+pub use arena::{CachedLists, Workspace};
 pub use commplan::{CommMode, CommPlan};
+pub use contenthash::{molecule_key, params_key, system_key};
 pub use error::{percent_error, ErrorStats, GbError};
 pub use interaction::{BornLists, EnergyExecScratch, EnergyLists, FarStats};
 pub use gbmath::COULOMB_KCAL;
+pub use pair::{evaluate_pair, evaluate_pair_ws, Monomer, PairOutcome, PairScratch};
 pub use params::{GbParams, MathKind, RadiiKind};
 pub use system::{GbResult, GbSystem};
 pub use balance::LoadBalance;

@@ -128,6 +128,57 @@ pub fn try_run_distributed_ws_mode(
     Ok((results.swap_remove(0), report))
 }
 
+/// One job of a fused superstep batch: a prepared system plus its per-rank
+/// workspaces (`workspaces[rank]`, one per rank like
+/// [`try_run_distributed_ws`]). The serve layer keys workspace pools by
+/// system content hash, so a job's checkpoints and cached plans always
+/// describe the same system the job runs.
+pub struct BatchJob<'a> {
+    /// The system to evaluate.
+    pub sys: &'a GbSystem,
+    /// Per-rank workspaces for this job.
+    pub workspaces: &'a [Mutex<Workspace>],
+}
+
+/// Runs several jobs as **one fused superstep** on the cluster: a single
+/// `try_run` whose rank program executes each job's 7-step pipeline in
+/// sequence. Compared to one `try_run` per job this saves the per-run
+/// spawn/join and keeps ranks hot across jobs — the batching lever of the
+/// serving layer.
+///
+/// Ordering is identical on every rank (jobs run in slice order inside
+/// one collective context), so each job's result is bit-identical to what
+/// [`try_run_distributed_ws_mode`] would produce for it alone: a job's
+/// collectives see exactly the same peers, contributions and summation
+/// order, batched or not. Under recovery a mid-batch rank death replays
+/// the whole rank program; completed jobs replay through their superstep
+/// checkpoints and in-flight jobs renegotiate their restart step exactly
+/// as in the single-job path — co-batched jobs observe nothing but
+/// wall-clock.
+///
+/// Returns the master-rank results in job order plus the batch's combined
+/// accounting report.
+pub fn try_run_batch_distributed(
+    cluster: &SimCluster,
+    ranks: usize,
+    division: WorkDivision,
+    mode: CommMode,
+    jobs: &[BatchJob<'_>],
+) -> Result<(Vec<GbResult>, RunReport), GbError> {
+    for job in jobs {
+        assert!(job.workspaces.len() >= ranks, "need one workspace per rank per job");
+    }
+    let (mut per_rank, report) = cluster.try_run(ranks, 1, |comm| {
+        let mut out = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let mut ws = job.workspaces[comm.rank()].lock();
+            out.push(rank_body_dispatch(job.sys, comm, division, mode, &mut ws)?);
+        }
+        Ok(out)
+    })?;
+    Ok((per_rank.swap_remove(0), report))
+}
+
 fn rank_body_dispatch(
     sys: &GbSystem,
     comm: &mut Comm,
@@ -199,7 +250,7 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
                 // Replicated preprocessing: every rank performs the same dual-tree
                 // walk (like the bin build), so segments agree without
                 // communication, and ranks are cut by *measured* list work.
-                ws.born.rebuild(sys, ws.build_tasks, &mut ws.born_scratch);
+                ws.ready_born_lists(sys);
                 work += ws.born.build_work;
                 work_balanced_segments_into(ws.born.leaf_work(), p, &mut ws.seg_ranges);
                 let seg = ws.seg_ranges[rank].clone();
@@ -405,12 +456,13 @@ pub(crate) fn rank_body<M: MathMode, K: RadiiApprox>(
     // recomputed locally from the (replicated) radii instead of being
     // communicated.
     ws.bins.recompute(sys, &radii_tree);
-    let bins = &ws.bins;
     comm.record_work(bin_build_work(sys));
+    if matches!(division, WorkDivision::NodeNode) {
+        ws.ready_energy_lists(sys);
+    }
+    let bins = &ws.bins;
     let (raw, w) = match division {
         WorkDivision::NodeNode => {
-            ws.energy
-                .rebuild(sys, ws.build_tasks, &mut ws.energy_scratch);
             let costs = ws.energy.leaf_costs(sys, bins);
             work_balanced_segments_into(&costs, p, &mut ws.seg_ranges);
             let (raw, exec) = ws.energy.execute_leaves::<M>(

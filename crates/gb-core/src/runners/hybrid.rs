@@ -214,7 +214,7 @@ fn run_integral_phase<M: MathMode, K: RadiiApprox>(
     // order. The interaction lists are rebuilt in place per rank
     // (replicated preprocessing, like the bins), and the rank boundaries
     // are cut by measured list work.
-    ws.born.rebuild(sys, ws.build_tasks, &mut ws.born_scratch);
+    ws.ready_born_lists(sys);
     work_balanced_segments_into(ws.born.leaf_work(), p, &mut ws.seg_ranges);
     let seg = ws.seg_ranges[rank].clone();
     let born = &ws.born;
@@ -339,8 +339,7 @@ fn finish_energy_phase<M: MathMode>(
     // the pool, boundaries balanced by the precomputed per-leaf list cost.
     ws.bins.recompute(sys, &radii_tree);
     comm.record_work(bin_build_work(sys));
-    ws.energy
-        .rebuild(sys, ws.build_tasks, &mut ws.energy_scratch);
+    ws.ready_energy_lists(sys);
     let bins = &ws.bins;
     let energy = &ws.energy;
     let costs = energy.leaf_costs(sys, bins);

@@ -50,7 +50,7 @@ pub fn run_serial_ws(sys: &GbSystem, ws: &mut Workspace) -> WsOutput {
     with_kernels!(sys.params, M, K => {
         // Born phase: one dual-tree walk (rebuilt in place), then stream
         // the lists.
-        ws.born.rebuild(sys, ws.build_tasks, &mut ws.born_scratch);
+        ws.ready_born_lists(sys);
         ws.acc.reset_for(sys);
         let mut born_work = ws.born.build_work;
         born_work += ws.born.execute_range::<M, K>(sys, 0..ws.born.num_qleaves(), &mut ws.acc);
@@ -65,7 +65,7 @@ pub fn run_serial_ws(sys: &GbSystem, ws: &mut Workspace) -> WsOutput {
         );
 
         // Energy phase: same split over (T_A, T_A).
-        ws.energy.rebuild(sys, ws.build_tasks, &mut ws.energy_scratch);
+        ws.ready_energy_lists(sys);
         ws.bins.recompute(sys, &ws.radii_tree);
         let (raw, exec_work) = ws.energy.execute_leaves::<M>(
             sys,

@@ -54,7 +54,7 @@ pub fn run_shared_ws(sys: &GbSystem, ws: &mut Workspace) -> WsOutput {
 
         // Born phase: build lists once (in place), execute chunks balanced
         // by the exact per-leaf work recorded in the lists.
-        ws.born.rebuild(sys, ws.build_tasks, &mut ws.born_scratch);
+        ws.ready_born_lists(sys);
         work_balanced_segments_into(ws.born.leaf_work(), chunks, &mut ws.seg_ranges);
         {
             let born = &ws.born;
@@ -108,7 +108,7 @@ pub fn run_shared_ws(sys: &GbSystem, ws: &mut Workspace) -> WsOutput {
         // Energy phase: parallel over even chunks of T_A leaf ordinals;
         // each chunk sums its leaves in leaf order, chunks merge in chunk
         // order (deterministic again).
-        ws.energy.rebuild(sys, ws.build_tasks, &mut ws.energy_scratch);
+        ws.ready_energy_lists(sys);
         ws.bins.recompute(sys, &ws.radii_tree);
         even_ranges_into(ws.energy.num_vleaves(), chunks, &mut ws.leaf_ranges);
         {

@@ -1,0 +1,142 @@
+//! Cache-key honesty at the service boundary.
+//!
+//! The tiered cache must key on *content* — positions, charges, radii and
+//! every GB parameter — not on object identity or names. Two contracts
+//! from ISSUE 9: a charge-only perturbation (geometry untouched) must miss
+//! tier 1, while a ligand pose rotation must still hit the receptor's
+//! tier-2 artifacts (the pose is not part of any monomer key).
+
+use gb_core::GbParams;
+use gb_geom::{RigidTransform, Vec3};
+use gb_molecule::{synthesize_protein, Molecule, SyntheticParams};
+use gb_serve::{EvalRequest, GbService, ServeConfig};
+use std::sync::Arc;
+
+fn mol(n: usize, seed: u64) -> Arc<Molecule> {
+    Arc::new(synthesize_protein(&SyntheticParams::with_atoms(n, seed)))
+}
+
+/// Same geometry, one charge nudged by 1e-9 e.
+fn perturb_charge(m: &Molecule) -> Arc<Molecule> {
+    let mut rebuilt = Molecule::empty("perturbed");
+    for (i, mut at) in m.atoms().enumerate() {
+        if i == 0 {
+            at.charge += 1e-9;
+        }
+        rebuilt.push(at);
+    }
+    assert_eq!(m.positions(), rebuilt.positions());
+    Arc::new(rebuilt)
+}
+
+#[test]
+fn charge_perturbation_misses_tier1_for_singles() {
+    let service = GbService::start(ServeConfig::default());
+    let a = mol(80, 31);
+    let params = GbParams::default();
+    let req = |m: &Arc<Molecule>| EvalRequest::Single {
+        molecule: Arc::clone(m),
+        params,
+    };
+
+    let cold = service.eval("t", req(&a)).expect("cold eval");
+    assert!(!cold.report.tier1_hit && !cold.report.tier2_hit && !cold.report.tier3_hit);
+
+    let warm = service.eval("t", req(&a)).expect("warm eval");
+    assert!(warm.report.tier1_hit && warm.report.tier2_hit && warm.report.tier3_hit);
+    assert_eq!(cold.energy_kcal.to_bits(), warm.energy_kcal.to_bits());
+
+    // identical geometry, different charges: every tier must miss
+    let nudged = service.eval("t", req(&perturb_charge(&a))).expect("nudged eval");
+    assert!(!nudged.report.tier1_hit, "charge-only perturbation must miss tier 1");
+    assert!(!nudged.report.tier2_hit && !nudged.report.tier3_hit);
+    assert_ne!(
+        cold.energy_kcal.to_bits(),
+        nudged.energy_kcal.to_bits(),
+        "a perturbed charge should reach the energy, not just the key"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn pose_rotation_still_hits_receptor_tier2() {
+    let service = GbService::start(ServeConfig::default());
+    let receptor = mol(220, 41);
+    let ligand = mol(50, 42);
+    let params = GbParams::default();
+    let dock = |r: &Arc<Molecule>, pose: RigidTransform| EvalRequest::Docking {
+        receptor: Arc::clone(r),
+        ligand: Arc::clone(&ligand),
+        pose,
+        params,
+    };
+    let pose1 = RigidTransform::translation(Vec3::new(22.0, 1.0, -3.0));
+    let pose2 = RigidTransform::rotation_about(
+        Vec3::new(0.0, 0.0, 0.0),
+        Vec3::new(0.2, 0.8, 0.4),
+        0.9,
+    );
+
+    let first = service.eval("dock", dock(&receptor, pose1)).expect("pose 1");
+    assert!(!first.report.tier2_hit, "first pose builds the monomers");
+
+    // a different pose of the same receptor/ligand pair: monomer artifacts
+    // (lists, own-surface integral image, solo energies) are keyed on the
+    // canonical frames, so the rotation changes nothing
+    let second = service.eval("dock", dock(&receptor, pose2)).expect("pose 2");
+    assert!(
+        second.report.tier2_hit,
+        "pose rotation must still hit the cached receptor+ligand monomers"
+    );
+
+    // same poses again: deterministic replays, bit-identical warm answers
+    let replay = service.eval("dock", dock(&receptor, pose2)).expect("pose 2 replay");
+    assert_eq!(second.energy_kcal.to_bits(), replay.energy_kcal.to_bits());
+    assert_eq!(second.delta_kcal.to_bits(), replay.delta_kcal.to_bits());
+
+    // perturbing the receptor's charges invalidates its entries even
+    // though the geometry (and hence the octrees) is unchanged
+    let nudged = service
+        .eval("dock", dock(&perturb_charge(&receptor), pose2))
+        .expect("nudged receptor");
+    assert!(!nudged.report.tier1_hit, "charge-perturbed receptor must miss tier 1");
+    assert!(!nudged.report.tier2_hit, "charge-perturbed receptor must miss tier 2");
+    service.shutdown();
+}
+
+#[test]
+fn warm_docking_matches_cold_rebuild_bitwise() {
+    let receptor = mol(180, 51);
+    let ligand = mol(45, 52);
+    let params = GbParams::default();
+    let pose = RigidTransform::rotation_about(
+        Vec3::new(1.0, 0.0, 0.0),
+        Vec3::new(0.1, 0.5, 0.9),
+        0.4,
+    );
+    let req = || EvalRequest::Docking {
+        receptor: Arc::clone(&receptor),
+        ligand: Arc::clone(&ligand),
+        pose,
+        params,
+    };
+
+    // cold baseline: caching disabled, every request rebuilds everything
+    let cold_service =
+        GbService::start(ServeConfig { caching: false, ..ServeConfig::default() });
+    let cold = cold_service.eval("t", req()).expect("cold");
+    cold_service.shutdown();
+
+    let warm_service = GbService::start(ServeConfig::default());
+    let _prime = warm_service.eval("t", req()).expect("prime");
+    let warm = warm_service.eval("t", req()).expect("warm");
+    assert!(warm.report.tier2_hit);
+    warm_service.shutdown();
+
+    assert_eq!(
+        cold.energy_kcal.to_bits(),
+        warm.energy_kcal.to_bits(),
+        "cache tier hits must trade wall-clock only, never bits"
+    );
+    assert_eq!(cold.delta_kcal.to_bits(), warm.delta_kcal.to_bits());
+}

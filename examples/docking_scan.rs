@@ -1,22 +1,25 @@
 //! Docking pose scan — the drug-design workload from the paper's
-//! introduction: a ligand is placed at many rigid-body poses around a
-//! receptor and the complex's polarization energy is evaluated at each
-//! pose. Rigid motions mean the ligand's octree can be *transformed*
-//! instead of rebuilt (paper §IV-C), which this example demonstrates.
+//! introduction, routed through the `gb-serve` service: one receptor ×
+//! many rigid ligand poses, submitted as concurrent [`EvalRequest::Docking`]
+//! jobs. The service caches the receptor's system, interaction lists,
+//! own-surface integral image and solo energy once by content hash; each
+//! pose then builds only the cross receptor×ligand terms on a
+//! *transformed* (never rebuilt) ligand octree (paper §IV-C).
 //!
 //! ```text
 //! cargo run --release --example docking_scan [n_poses]
 //! ```
 
-use gb_polarize::prelude::*;
 use gb_polarize::molecule::docking::PoseScan;
-use gb_polarize::octree::Octree;
+use gb_polarize::prelude::*;
+use gb_polarize::serve::ServeStats;
+use std::sync::Arc;
 
 fn main() {
     let n_poses: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
 
-    let receptor = synthesize_protein(&SyntheticParams::with_atoms(2_000, 7));
-    let ligand = synthesize_protein(&SyntheticParams::with_atoms(150, 8));
+    let receptor = Arc::new(synthesize_protein(&SyntheticParams::with_atoms(2_000, 7)));
+    let ligand = Arc::new(synthesize_protein(&SyntheticParams::with_atoms(150, 8)));
     println!(
         "receptor: {} atoms, ligand: {} atoms, {} poses",
         receptor.len(),
@@ -24,9 +27,6 @@ fn main() {
         n_poses
     );
 
-    // --- Octree-transform demonstration: the ligand's tree is built once
-    // and *moved* per pose; topology and node radii are reused.
-    let ligand_tree = Octree::build(ligand.positions(), 8);
     let centroid = {
         let mut c = gb_polarize::geom::Vec3::ZERO;
         for &p in ligand.positions() {
@@ -34,47 +34,59 @@ fn main() {
         }
         c / ligand.len() as f64
     };
-    let receptor_center = {
-        let bb = receptor.bounding_box();
-        bb.center()
-    };
+    let receptor_center = receptor.bounding_box().center();
     let standoff = receptor.bounding_box().circumradius() + 8.0;
     let scan = PoseScan { center: receptor_center, standoff, n_poses, seed: 99 };
     let poses = scan.poses(centroid);
 
-    let t0 = std::time::Instant::now();
-    let moved_trees: Vec<Octree> = poses.iter().map(|t| ligand_tree.transformed(t)).collect();
-    println!(
-        "transformed the ligand octree to {} poses in {:.2} ms (no rebuilds)",
-        moved_trees.len(),
-        t0.elapsed().as_secs_f64() * 1e3
-    );
-    for tree in &moved_trees {
-        tree.validate().expect("transformed tree stays valid");
-    }
-
-    // --- Energy scan: receptor–ligand complex energy per pose.
+    // One service; every pose submitted up front (open loop), answered in
+    // order. The first pose pays both monomer builds; the rest ride the
+    // tier-2 cache and evaluate cross terms only.
+    let service = GbService::start(ServeConfig::default());
     let params = GbParams::default();
-    let mut best = (0usize, f64::INFINITY);
-    println!("\n pose   E_complex (kcal/mol)   ΔE_binding proxy");
-    let receptor_sys = GbSystem::prepare(receptor.clone(), params);
-    let receptor_e = run_shared(&receptor_sys).result.energy_kcal;
-    let ligand_sys = GbSystem::prepare(ligand.clone(), params);
-    let ligand_e = run_shared(&ligand_sys).result.energy_kcal;
+    let t0 = std::time::Instant::now();
+    let tickets: Vec<_> = poses
+        .iter()
+        .map(|pose| {
+            service
+                .submit(
+                    "docking-scan",
+                    EvalRequest::Docking {
+                        receptor: Arc::clone(&receptor),
+                        ligand: Arc::clone(&ligand),
+                        pose: *pose,
+                        params,
+                    },
+                )
+                .expect("admission")
+        })
+        .collect();
 
-    for (i, pose) in poses.iter().enumerate() {
-        let mut complex = receptor.clone();
-        complex.merge(&ligand.transformed(pose));
-        let sys = GbSystem::prepare(complex, params);
-        let e = run_shared(&sys).result.energy_kcal;
-        let delta = e - receptor_e - ligand_e;
-        println!("{i:>5}   {e:>18.2}   {delta:>14.2}");
-        if delta < best.1 {
-            best = (i, delta);
+    let mut best = (0usize, f64::INFINITY);
+    println!("\n pose   E_complex (kcal/mol)   ΔE_binding proxy   cache");
+    for (i, t) in tickets.into_iter().enumerate() {
+        let out = t.wait().expect("pose outcome");
+        let tag = if out.report.tier2_hit { "warm" } else { "cold" };
+        println!(
+            "{i:>5}   {:>18.2}   {:>14.2}   {tag}",
+            out.energy_kcal, out.delta_kcal
+        );
+        if out.delta_kcal < best.1 {
+            best = (i, out.delta_kcal);
         }
     }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats: ServeStats = service.stats();
     println!(
         "\nbest pose: #{} with polarization binding-energy proxy {:.2} kcal/mol",
         best.0, best.1
     );
+    println!(
+        "{} poses in {:.2} ms ({:.1} poses/sec), tier-2 hit rate {:.3}",
+        n_poses,
+        elapsed * 1e3,
+        n_poses as f64 / elapsed,
+        ServeStats::hit_rate(stats.cache.tier2_hits, stats.cache.tier2_misses),
+    );
+    service.shutdown();
 }

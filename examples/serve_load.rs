@@ -1,0 +1,196 @@
+//! Open-loop load generator for the `gb-serve` layer — the serving
+//! benchmark behind `BENCH_serve.json` and the `GB_BENCH_SERVE` perf-smoke
+//! gate.
+//!
+//! Three phases, all against real service instances:
+//!
+//! 1. **Warm docking scan** (the killer path): one receptor × many ligand
+//!    poses with tier-2/3 caching on — receptor artifacts built once,
+//!    cross terms per pose.
+//! 2. **Cold docking baseline**: the same requests against a service with
+//!    `caching: false`, every pose rebuilding both monomers from scratch
+//!    (a subset of the poses — cold is the slow path being beaten).
+//!    Energies must be `to_bits()`-identical to the warm phase.
+//! 3. **Singles mix**: an open-loop multi-tenant burst of small
+//!    molecules fused into shared cluster supersteps.
+//!
+//! ```text
+//! cargo run --release --example serve_load > BENCH_serve.json
+//! ```
+//!
+//! Knobs (env): `GB_SERVE_POSES` (500), `GB_SERVE_RECEPTOR_ATOMS` (3000),
+//! `GB_SERVE_LIGAND_ATOMS` (80), `GB_SERVE_COLD_POSES` (24),
+//! `GB_SERVE_SINGLES` (96), `GB_SERVE_TENANTS` (8).
+
+use gb_polarize::molecule::docking::PoseScan;
+use gb_polarize::prelude::*;
+use gb_polarize::serve::ServeStats;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Latency of one request as the service experienced it: admission→drain
+/// plus drain→completion.
+fn latency_ms(out: &EvalOutcome) -> f64 {
+    out.report.queue_wait_ms + out.report.service_ms
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct Phase {
+    outcomes: Vec<EvalOutcome>,
+    elapsed_s: f64,
+    stats: ServeStats,
+}
+
+impl Phase {
+    fn jobs_per_sec(&self) -> f64 {
+        self.outcomes.len() as f64 / self.elapsed_s
+    }
+    fn latencies(&self) -> Vec<f64> {
+        let mut l: Vec<f64> = self.outcomes.iter().map(latency_ms).collect();
+        l.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        l
+    }
+}
+
+/// Submits every request up front (open loop), then collects in order.
+fn run_open_loop(
+    service: &GbService,
+    requests: Vec<(String, EvalRequest)>,
+) -> Phase {
+    let t0 = Instant::now();
+    let tickets: Vec<_> = requests
+        .into_iter()
+        .map(|(tenant, req)| service.submit(&tenant, req).expect("admission"))
+        .collect();
+    let outcomes: Vec<EvalOutcome> =
+        tickets.into_iter().map(|t| t.wait().expect("outcome")).collect();
+    Phase { outcomes, elapsed_s: t0.elapsed().as_secs_f64(), stats: service.stats() }
+}
+
+fn main() {
+    let n_poses = env_usize("GB_SERVE_POSES", 500);
+    let receptor_atoms = env_usize("GB_SERVE_RECEPTOR_ATOMS", 3_000);
+    let ligand_atoms = env_usize("GB_SERVE_LIGAND_ATOMS", 80);
+    let cold_poses = env_usize("GB_SERVE_COLD_POSES", 24).min(n_poses);
+    let n_singles = env_usize("GB_SERVE_SINGLES", 96);
+    let n_tenants = env_usize("GB_SERVE_TENANTS", 8).max(1);
+
+    let receptor = Arc::new(synthesize_protein(&SyntheticParams::with_atoms(receptor_atoms, 7)));
+    let ligand = Arc::new(synthesize_protein(&SyntheticParams::with_atoms(ligand_atoms, 8)));
+    let params = GbParams::default();
+    let centroid = {
+        let mut c = gb_polarize::geom::Vec3::ZERO;
+        for &p in ligand.positions() {
+            c += p;
+        }
+        c / ligand.len() as f64
+    };
+    let scan = PoseScan {
+        center: receptor.bounding_box().center(),
+        standoff: receptor.bounding_box().circumradius() + 8.0,
+        n_poses,
+        seed: 99,
+    };
+    let poses = scan.poses(centroid);
+    let dock_req = |pose| EvalRequest::Docking {
+        receptor: Arc::clone(&receptor),
+        ligand: Arc::clone(&ligand),
+        pose,
+        params,
+    };
+
+    // ---- phase 1: warm docking scan (tiered cache on)
+    let warm_service = GbService::start(ServeConfig::default());
+    let warm = run_open_loop(
+        &warm_service,
+        poses.iter().map(|p| ("dock".to_string(), dock_req(*p))).collect(),
+    );
+    warm_service.shutdown();
+
+    // ---- phase 2: cold baseline (caching off, subset of the same poses)
+    let cold_service =
+        GbService::start(ServeConfig { caching: false, ..ServeConfig::default() });
+    let cold = run_open_loop(
+        &cold_service,
+        poses[..cold_poses].iter().map(|p| ("dock".to_string(), dock_req(*p))).collect(),
+    );
+    cold_service.shutdown();
+
+    let bitwise_match = warm.outcomes[..cold_poses]
+        .iter()
+        .zip(&cold.outcomes)
+        .all(|(w, c)| w.energy_kcal.to_bits() == c.energy_kcal.to_bits());
+
+    // ---- phase 3: multi-tenant singles burst
+    let singles: Vec<(String, EvalRequest)> = (0..n_singles)
+        .map(|i| {
+            // a small pool of distinct molecules so the cache matters but
+            // every superstep still mixes tenants
+            let mol = Arc::new(synthesize_protein(&SyntheticParams::with_atoms(
+                60 + 10 * (i % 4),
+                200 + (i % 12) as u64,
+            )));
+            (
+                format!("tenant-{}", i % n_tenants),
+                EvalRequest::Single { molecule: mol, params },
+            )
+        })
+        .collect();
+    let singles_service = GbService::start(ServeConfig::default());
+    let mix = run_open_loop(&singles_service, singles);
+    singles_service.shutdown();
+
+    // ---- report
+    let wl = warm.latencies();
+    let ml = mix.latencies();
+    let wstats = &warm.stats;
+    let mstats = &mix.stats;
+    println!("{{");
+    println!("  \"receptor_atoms\": {},", receptor.len());
+    println!("  \"ligand_atoms\": {},", ligand.len());
+    println!("  \"docking\": {{");
+    println!("    \"poses\": {n_poses},");
+    println!("    \"cold_poses\": {cold_poses},");
+    println!("    \"jobs_per_sec_warm\": {:.2},", warm.jobs_per_sec());
+    println!("    \"jobs_per_sec_cold\": {:.2},", cold.jobs_per_sec());
+    println!(
+        "    \"speedup_warm_over_cold\": {:.3},",
+        warm.jobs_per_sec() / cold.jobs_per_sec()
+    );
+    println!("    \"p50_ms\": {:.3},", percentile(&wl, 0.50));
+    println!("    \"p99_ms\": {:.3},", percentile(&wl, 0.99));
+    println!(
+        "    \"tier1_hit_rate\": {:.4},",
+        ServeStats::hit_rate(wstats.cache.tier1_hits, wstats.cache.tier1_misses)
+    );
+    println!(
+        "    \"tier2_hit_rate\": {:.4},",
+        ServeStats::hit_rate(wstats.cache.tier2_hits, wstats.cache.tier2_misses)
+    );
+    println!("    \"bitwise_match_cold\": {bitwise_match}");
+    println!("  }},");
+    println!("  \"singles\": {{");
+    println!("    \"jobs\": {n_singles},");
+    println!("    \"tenants\": {n_tenants},");
+    println!("    \"jobs_per_sec\": {:.2},", mix.jobs_per_sec());
+    println!("    \"p50_ms\": {:.3},", percentile(&ml, 0.50));
+    println!("    \"p99_ms\": {:.3},", percentile(&ml, 0.99));
+    println!("    \"batch_occupancy\": {:.3},", mstats.batch_occupancy());
+    println!(
+        "    \"tier3_hit_rate\": {:.4}",
+        ServeStats::hit_rate(mstats.cache.tier3_hits, mstats.cache.tier3_misses)
+    );
+    println!("  }}");
+    println!("}}");
+}

@@ -25,12 +25,91 @@
 # the *best* run wins: ambient load can only deflate the ratio, so the
 # cleanest window is the algorithmic one.
 #
+# GB_BENCH_SERVE=1 switches to the serving gate: examples/serve_load runs
+# the docking killer path (1 receptor × serve_poses with tier-2/3 caching
+# vs cold per-request rebuilds) plus the multi-tenant singles burst, and
+# the gate checks (a) the hard floors serve_min_docking_speedup (warm
+# jobs/sec over cold — the ≥3x acceptance bar) and
+# serve_min_tier2_hit_rate (docking cache-hit ratio), (b) that warm and
+# cold energies are to_bits()-identical, and (c) the recorded host
+# baselines serve_jobs_per_sec_warm / serve_p99_ms with the same
+# max_regression_factor headroom as the build gates.
+#
 #   scripts/perf_smoke.sh            # check against the baseline
 #   scripts/perf_smoke.sh --update   # rewrite the baseline from this host
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE=scripts/perf_baseline.json
+
+if [[ "${GB_BENCH_SERVE:-0}" == "1" ]]; then
+    cargo build --release --example serve_load
+    OUT=$(mktemp -d)
+    trap 'rm -rf "$OUT"' EXIT
+    ./target/release/examples/serve_load > "$OUT/serve.json"
+    python3 - "$BASELINE" "$OUT" "${1:-}" <<'EOF'
+import json, sys
+
+baseline_path, out_dir, mode = sys.argv[1], sys.argv[2], sys.argv[3]
+baseline = json.load(open(baseline_path))
+serve = json.load(open(out_dir + "/serve.json"))
+dock = serve["docking"]
+
+if mode == "--update":
+    baseline["serve_jobs_per_sec_warm"] = round(dock["jobs_per_sec_warm"], 2)
+    baseline["serve_p99_ms"] = round(dock["p99_ms"], 1)
+    json.dump(baseline, open(baseline_path, "w"), indent=2)
+    open(baseline_path, "a").write("\n")
+    print(f"serve baseline updated: jobs/sec {dock['jobs_per_sec_warm']:.2f}, "
+          f"p99 {dock['p99_ms']:.1f} ms")
+    sys.exit(0)
+
+factor = baseline["max_regression_factor"]
+failed = False
+
+# hard floor: tiered caching must beat cold per-request builds by the
+# acceptance factor on the docking scan
+floor = baseline["serve_min_docking_speedup"]
+speedup = dock["speedup_warm_over_cold"]
+verdict = "ok" if speedup >= floor else "UNDER FLOOR"
+print(f"serve docking speedup (warm/cold): measured {speedup:.3f}  "
+      f"floor {floor:.3f}  {verdict}")
+failed |= speedup < floor
+
+# hard floor: the docking scan must actually be served from the cache
+floor = baseline["serve_min_tier2_hit_rate"]
+rate = dock["tier2_hit_rate"]
+verdict = "ok" if rate >= floor else "UNDER FLOOR"
+print(f"serve docking tier2 hit rate: measured {rate:.4f}  "
+      f"floor {floor:.4f}  {verdict}")
+failed |= rate < floor
+
+# correctness: cache tiers trade wall-clock only, never bits
+verdict = "ok" if dock["bitwise_match_cold"] else "MISMATCH"
+print(f"serve warm-vs-cold bitwise energies: {verdict}")
+failed |= not dock["bitwise_match_cold"]
+
+# host-baseline regressions (same headroom as the build gates)
+allowed = baseline["serve_jobs_per_sec_warm"] / factor
+jps = dock["jobs_per_sec_warm"]
+verdict = "ok" if jps >= allowed else "REGRESSED"
+print(f"serve warm jobs/sec: measured {jps:.2f}  "
+      f"baseline {baseline['serve_jobs_per_sec_warm']:.2f}  "
+      f"allowed >= {allowed:.2f}  {verdict}")
+failed |= jps < allowed
+
+allowed = baseline["serve_p99_ms"] * factor
+p99 = dock["p99_ms"]
+verdict = "ok" if p99 <= allowed else "REGRESSED"
+print(f"serve docking p99: measured {p99:.1f} ms  "
+      f"baseline {baseline['serve_p99_ms']:.1f}  allowed <= {allowed:.1f}  {verdict}")
+failed |= p99 > allowed
+
+sys.exit(1 if failed else 0)
+EOF
+    exit $?
+fi
+
 N_ATOMS=$(python3 -c "import json; print(json.load(open('$BASELINE'))['n_atoms'])")
 RUNS=$(python3 -c "import json; print(json.load(open('$BASELINE'))['runs'])")
 COMM_N_ATOMS=$(python3 -c "import json; print(json.load(open('$BASELINE'))['comm_n_atoms'])")

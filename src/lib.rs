@@ -48,6 +48,7 @@ pub use gb_core as core;
 pub use gb_geom as geom;
 pub use gb_molecule as molecule;
 pub use gb_octree as octree;
+pub use gb_serve as serve;
 pub use gb_surface as surface;
 
 pub use gb_cluster::{ClusterTopology, CostModel, SimCluster};
@@ -59,6 +60,7 @@ pub use gb_core::runners::{
 };
 pub use gb_core::{CommMode, GbParams, GbResult, GbSystem, MathKind, RadiiKind, WorkDivision};
 pub use gb_molecule::{synthesize_protein, virus_shell, Molecule, SyntheticParams};
+pub use gb_serve::{EvalOutcome, EvalRequest, GbService, ServeConfig, ServeStats};
 pub use gb_surface::SurfaceParams;
 
 /// Everything a typical caller needs.
@@ -74,6 +76,7 @@ pub mod prelude {
     pub use gb_molecule::{
         synthesize_protein, virus_shell, zdock_suite, Atom, Element, Molecule, SyntheticParams,
     };
+    pub use gb_serve::{EvalOutcome, EvalRequest, GbService, ServeConfig, ServeStats};
     pub use gb_surface::SurfaceParams;
 }
 
