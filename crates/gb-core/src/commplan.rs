@@ -140,6 +140,9 @@ pub struct CommPlan {
     /// stamps, so it never needs clearing between ranks or rebuilds).
     mark: Vec<u64>,
     mark_epoch: u64,
+    /// Cache misses since construction — how often the plan was actually
+    /// re-derived (observability for the frame pipeline's reuse claims).
+    rebuilds: u64,
 }
 
 impl CommPlan {
@@ -157,7 +160,15 @@ impl CommPlan {
             consumed: Vec::new(),
             mark: Vec::new(),
             mark_epoch: 0,
+            rebuilds: 0,
         }
+    }
+
+    /// How many times the plan has been re-derived (cache misses). A
+    /// steady-state frame loop must leave this constant — the repair
+    /// pipeline's "plan provably reused" observable.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
     }
 
     /// Sorted flat slots rank `r`'s integral segment can write.
@@ -216,18 +227,16 @@ impl CommPlan {
         key = fold(key, num_slots as u64);
         key = fold_ranges(key, seg_ranges);
         key = fold_ranges(key, atom_ranges);
-        let (far_off, far) = born.far_csr();
-        let (near_off, near) = born.near_csr();
-        for &o in far_off.iter().chain(near_off) {
-            key = fold(key, o as u64);
-        }
-        for &id in far.iter().chain(near) {
-            key = fold(key, id as u64);
-        }
+        // The lists' content key is a fold of the full CSR structure
+        // maintained incrementally by the build/repair paths (same fold
+        // constants as here) — so an unchanged frame re-validates the plan
+        // in O(1) instead of re-hashing O(list) elements every superstep.
+        key = fold(key, born.content_key());
         let key = key.max(1);
         if self.kind == PlanKind::NodeNode && self.key == key {
             return false;
         }
+        self.rebuilds += 1;
 
         self.kind = PlanKind::NodeNode;
         self.key = key;
@@ -295,6 +304,7 @@ impl CommPlan {
         if self.kind == PlanKind::Consumers && self.key == key {
             return false;
         }
+        self.rebuilds += 1;
         self.kind = PlanKind::Consumers;
         self.key = key;
         self.num_nodes = num_nodes;
@@ -543,6 +553,41 @@ mod tests {
         work_balanced_segments_into(ws.born.leaf_work(), 2, &mut seg2);
         let atom2 = even_ranges(s.num_atoms(), 2);
         assert!(plan.ensure_node_node(&s, &ws.born, &seg2, &atom2, 4));
+    }
+
+    #[test]
+    fn plan_survives_identity_frame_and_tracks_rebuilds() {
+        // a refit + exact repair that flips nothing must leave the lists'
+        // content key — and therefore the cached plan — untouched
+        let mol = synthesize_protein(&SyntheticParams::with_atoms(350, 44));
+        let mut s = GbSystem::prepare(mol, GbParams::default());
+        let mut ws = Workspace::new();
+        ws.born.set_cert_tracking(true);
+        ws.born.rebuild(&s, 1, &mut ws.born_scratch);
+        work_balanced_segments_into(ws.born.leaf_work(), 4, &mut ws.seg_ranges);
+        let atom_ranges = even_ranges(s.num_atoms(), 4);
+        let mut plan = CommPlan::new();
+        assert!(plan.ensure_node_node(&s, &ws.born, &ws.seg_ranges, &atom_ranges, 4));
+        assert_eq!(plan.rebuilds(), 1);
+
+        // identity frame: refit both trees onto their current positions
+        let same = |t: &Octree| {
+            let mut out = vec![gb_geom::Vec3::ZERO; t.num_points()];
+            for i in 0..t.num_points() {
+                out[t.point_index(i)] = t.points()[i];
+            }
+            out
+        };
+        let (pa, pq) = (same(&s.ta), same(&s.tq));
+        s.ta.refit(&pa);
+        s.tq.refit(&pq);
+        let stats = ws.born.repair(&s, 0.0, &mut ws.born_scratch);
+        assert!(!stats.changed);
+        assert!(
+            !plan.ensure_node_node(&s, &ws.born, &ws.seg_ranges, &atom_ranges, 4),
+            "unchanged frame must reuse the plan"
+        );
+        assert_eq!(plan.rebuilds(), 1, "no re-derivation on the warm frame");
     }
 
     #[test]

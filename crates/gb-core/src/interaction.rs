@@ -54,6 +54,290 @@ const MARGIN: f64 = 1e-9;
 /// scheduling decision.
 const MIN_TASK_LEAVES: usize = 2048;
 
+/// Safety pad on every certificate's drift sensitivity: the analytic κ
+/// bounds below are exact in real arithmetic, and the pad buys five orders
+/// of magnitude more slack than the f64 rounding (and the `MARGIN`-term
+/// drift) they ignore. Over-padding only shrinks budgets — more re-walks,
+/// never a wrong decision.
+const CERT_PAD: f64 = 1.00001;
+
+/// A walk-decision certificate: pop `(a, q)` keeps its recorded branch as
+/// long as `ta.drift(a) + tq.drift(q) ≤ budget`, where `budget` folds the
+/// decision's allowed drift margin into the trees' accumulated drift at
+/// record time. When drift exceeds the budget the branch *may* have
+/// flipped; repair re-evaluates the decision predicate at the current
+/// geometry and only a confirmed flip invalidates the driving span. The
+/// recorded branch lives in the top two bits of `a` (node ids stay far
+/// below 2^30) and the span is derived from `q` at check time
+/// (topology-stable across refits), so 16 bytes per decided pop suffice.
+#[derive(Clone, Copy, Debug)]
+struct Cert {
+    a_tag: u32,
+    q: NodeId,
+    budget: f64,
+}
+
+impl Cert {
+    const TAG_SHIFT: u32 = 30;
+    const ID_MASK: u32 = (1 << Self::TAG_SHIFT) - 1;
+
+    #[inline]
+    fn new(a: NodeId, q: NodeId, branch: Resolve, budget: f64) -> Cert {
+        let tag = match branch {
+            Resolve::Far => 0u32,
+            Resolve::NearOrDescend => 1,
+            Resolve::DescendDriver => 2,
+        };
+        debug_assert!(a <= Self::ID_MASK);
+        Cert { a_tag: a | (tag << Self::TAG_SHIFT), q, budget }
+    }
+
+    #[inline]
+    fn a(&self) -> NodeId {
+        self.a_tag & Self::ID_MASK
+    }
+
+    #[inline]
+    fn branch(&self) -> Resolve {
+        match self.a_tag >> Self::TAG_SHIFT {
+            0 => Resolve::Far,
+            1 => Resolve::NearOrDescend,
+            _ => Resolve::DescendDriver,
+        }
+    }
+}
+
+/// What a [`BornLists::repair`] / [`EnergyLists::repair`] pass did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RepairStats {
+    /// Certificates checked against the trees' accumulated drift.
+    pub certs_checked: usize,
+    /// Certificates whose drift bound tripped, forcing a predicate
+    /// re-evaluation at the current geometry (most re-confirm and merely
+    /// refresh their budget).
+    pub certs_rechecked: usize,
+    /// Certificates whose decision *confirmably* flipped (spans re-walked).
+    pub certs_violated: usize,
+    /// Driving-leaf rows regenerated by range re-walks.
+    pub rows_rewalked: usize,
+    /// Total driving-leaf rows.
+    pub rows_total: usize,
+    /// True when any regenerated row differs from the stored one (the
+    /// content key was refolded; structure consumers must invalidate).
+    pub changed: bool,
+}
+
+impl RepairStats {
+    /// Fraction of driving rows the repair re-walked (0 = pure reuse).
+    pub fn rewalk_fraction(&self) -> f64 {
+        if self.rows_total == 0 {
+            0.0
+        } else {
+            self.rows_rewalked as f64 / self.rows_total as f64
+        }
+    }
+}
+
+/// The content-hash fold step shared with the communication planner
+/// (identical constants, so planner keys stay stable across the refactor).
+#[inline]
+fn fold(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
+}
+
+/// Folds a CSR list pair into a content key: equal keys ⇔ (offsets, ids)
+/// byte-equal with overwhelming probability — what lets a no-flip frame
+/// prove "structure unchanged" to plan caches in O(1) instead of O(list).
+fn fold_csr_key(far_off: &[usize], far: &[NodeId], near_off: &[usize], near: &[NodeId]) -> u64 {
+    let mut k = fold(0xC0_17_E4_7D, far_off.len() as u64);
+    for &o in far_off.iter().chain(near_off) {
+        k = fold(k, o as u64);
+    }
+    for &id in far.iter().chain(near) {
+        k = fold(k, id as u64);
+    }
+    k.max(1)
+}
+
+/// Checks every certificate against the trees' accumulated drift (slack
+/// `drift_tol`; 0 = exact). A tripped drift bound is conservative, so the
+/// decision predicate is re-evaluated at the *current* geometry via
+/// `recheck(a, q, recorded_branch)`: an unchanged branch keeps the cert
+/// with a refreshed budget (the returned κ-divided margin), while `None`
+/// confirms a flip and invalidates the driving span. Flipped certs — plus
+/// every survivor whose span *starts* inside an invalidated region (the
+/// range re-walk re-records those) — are dropped. Returns
+/// `(checked, rechecked, flipped)` and fills `runs` with the maximal
+/// invalid ordinal runs. `cover` is a reusable diff/prefix buffer.
+///
+/// When more than `bail_after` certs trip their drift bound the scan
+/// aborts and returns `None`: drift that dense means the frame moved
+/// nearly everything, a regime where re-checking and re-walking costs more
+/// than rebuilding from scratch (partially refreshed budgets are still
+/// valid certs, so an abort leaves the lists usable).
+#[allow(clippy::too_many_arguments)]
+fn invalidate_certs(
+    certs: &mut Vec<Cert>,
+    ta: &Octree,
+    tq: &Octree,
+    spans: &LeafSpans,
+    drift_tol: f64,
+    nleaves: usize,
+    cover: &mut Vec<i64>,
+    runs: &mut Vec<(u32, u32)>,
+    bail_after: usize,
+    recheck: impl Fn(NodeId, NodeId, Resolve) -> Option<f64>,
+) -> Option<(usize, usize, usize)> {
+    runs.clear();
+    cover.clear();
+    cover.resize(nleaves + 1, 0);
+    let checked = certs.len();
+    let mut rechecked = 0usize;
+    let mut flipped = 0usize;
+    for c in certs.iter_mut() {
+        let (da, dq) = (ta.drift(c.a()), tq.drift(c.q));
+        if da + dq > c.budget + drift_tol {
+            rechecked += 1;
+            if rechecked > bail_after {
+                return None;
+            }
+            match recheck(c.a(), c.q, c.branch()) {
+                Some(allowed) => c.budget = allowed.max(0.0) + da + dq,
+                None => {
+                    flipped += 1;
+                    let span = spans.span(c.q);
+                    cover[span.start] += 1;
+                    cover[span.end] -= 1;
+                }
+            }
+        }
+    }
+    if flipped == 0 {
+        return Some((checked, rechecked, 0));
+    }
+    // prefix-sum in place: cover[ord] > 0 ⇔ ordinal inside an invalid span
+    let mut run = 0i64;
+    for c in cover.iter_mut().take(nleaves) {
+        run += *c;
+        *c = run;
+    }
+    let mut start = None;
+    for ord in 0..nleaves {
+        match (start, cover[ord] > 0) {
+            (None, true) => start = Some(ord),
+            (Some(s), false) => {
+                runs.push((s as u32, ord as u32));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        runs.push((s as u32, nleaves as u32));
+    }
+    certs.retain(|c| cover[spans.span(c.q).start] <= 0);
+    Some((checked, rechecked, flipped))
+}
+
+/// Converts a tripped-cert bail fraction into an absolute count
+/// (`usize::MAX` disables bailing).
+fn bail_fraction_to_count(fraction: f64, certs: usize) -> usize {
+    if fraction.is_finite() {
+        (fraction * certs as f64) as usize
+    } else {
+        usize::MAX
+    }
+}
+
+/// Branch + κ-divided standing margin of a q-leaf born pop — the exact
+/// float forms of [`born_walk_range`]'s leaf test, shared with the cert
+/// re-check so a repaired frame replays the decision bit for bit.
+#[inline]
+fn born_leaf_branch(
+    a: &Node,
+    q: &Node,
+    d: f64,
+    threshold: f64,
+    k_leaf: f64,
+    k_gap: f64,
+) -> (Resolve, f64) {
+    let far = well_separated(d, a.radius, q.radius, threshold);
+    let sum = a.radius + q.radius;
+    let gap = d - sum;
+    let w = threshold * gap - (d + sum);
+    let allowed = if far {
+        // both conditions hold; either failing flips the branch
+        (gap / k_gap).min(w / k_leaf)
+    } else {
+        // one failing condition persisting keeps the branch
+        let by_gap = if gap <= 0.0 { -gap / k_gap } else { f64::NEG_INFINITY };
+        let by_w = if w < 0.0 { -w / k_leaf } else { f64::NEG_INFINITY };
+        by_gap.max(by_w)
+    };
+    (if far { Resolve::Far } else { Resolve::NearOrDescend }, allowed)
+}
+
+/// Branch + raw standing margin (the caller divides by its κ) of an
+/// internal driving node — shared by the born and energy walks, whose
+/// internal tests are the same float forms with `coef` respectively the
+/// near/far coefficient and the MAC factor.
+#[inline]
+fn internal_branch(
+    a: &Node,
+    q: &Node,
+    d: f64,
+    min_lr: f64,
+    max_lr: f64,
+    coef: f64,
+) -> (Resolve, f64) {
+    let need_hi = coef * (a.radius + max_lr);
+    let need_lo = coef * (a.radius + min_lr);
+    let resolve = if d - q.radius > need_hi + MARGIN * (need_hi + d) {
+        Resolve::Far
+    } else if d + q.radius < need_lo - MARGIN * (need_lo + d) {
+        Resolve::NearOrDescend
+    } else {
+        Resolve::DescendDriver
+    };
+    let f_m = (d - q.radius) - (need_hi + MARGIN * (need_hi + d));
+    let n_m = (need_lo - MARGIN * (need_lo + d)) - (d + q.radius);
+    let allowed = match resolve {
+        Resolve::Far => f_m,
+        Resolve::NearOrDescend => n_m,
+        // ambiguity persists while both margins stay failed
+        Resolve::DescendDriver => (-f_m).min(-n_m),
+    };
+    (resolve, allowed)
+}
+
+/// Branch + κ-divided standing margin of a v-leaf energy pop — the exact
+/// float forms of [`energy_walk_range`]'s leaf MAC test.
+#[inline]
+fn energy_leaf_branch(u: &Node, v: &Node, d: f64, mac: f64, k_leaf: f64) -> (Resolve, f64) {
+    let far = d > (u.radius + v.radius) * mac;
+    let t_m = d - (u.radius + v.radius) * mac;
+    let allowed = (if far { t_m } else { -t_m }) / k_leaf;
+    (if far { Resolve::Far } else { Resolve::NearOrDescend }, allowed)
+}
+
+/// Copies rows `[from, to)` of a CSR verbatim onto the tail of a double
+/// buffer, rebasing offsets — the bulk-reuse half of a list repair.
+fn copy_csr_rows(
+    off: &[usize],
+    data: &[NodeId],
+    from: usize,
+    to: usize,
+    off2: &mut Vec<usize>,
+    data2: &mut Vec<NodeId>,
+) {
+    let base = data2.len();
+    let src = off[from];
+    for ord in from..to {
+        off2.push(base + (off[ord] - src));
+    }
+    data2.extend_from_slice(&data[src..off[to]]);
+}
+
 /// A list emission recorded during a walk: the interacting node, applied to
 /// a contiguous run `[span_start, span_end)` of driving-leaf ordinals
 /// (task-local coordinates when the walk covers an ordinal range).
@@ -69,6 +353,9 @@ struct WalkSeg {
     sdiff: Vec<i64>,
     stack: Vec<(NodeId, NodeId)>,
     build_work: f64,
+    /// Decision certificates of the pops this task owns (recorded only
+    /// when the build tracks certs).
+    certs: Vec<Cert>,
 }
 
 impl WalkSeg {
@@ -81,12 +368,14 @@ impl WalkSeg {
         self.stack.clear();
         self.stack.push((Octree::ROOT, Octree::ROOT));
         self.build_work = 0.0;
+        self.certs.clear();
     }
 
     fn memory_bytes(&self) -> usize {
         (self.far_emits.capacity() + self.near_emits.capacity()) * std::mem::size_of::<Emit>()
             + self.sdiff.capacity() * std::mem::size_of::<i64>()
             + self.stack.capacity() * std::mem::size_of::<(NodeId, NodeId)>()
+            + self.certs.capacity() * std::mem::size_of::<Cert>()
     }
 }
 
@@ -107,6 +396,16 @@ pub struct ListScratch {
     /// Partner *ordinals* mirroring `EnergyLists::near` — the sorted
     /// per-ordinal slices the annotation pass binary-searches.
     near_ords: Vec<u32>,
+    /// Maximal invalid ordinal runs of the current repair pass.
+    runs: Vec<(u32, u32)>,
+    /// Repair double buffers: the spliced CSR is assembled here row by row
+    /// (copied reuse + re-walked runs), then swapped with the list's own
+    /// arrays — so a warm repair allocates nothing and the swapped-out old
+    /// arrays stay readable for change detection.
+    far_off2: Vec<usize>,
+    far2: Vec<NodeId>,
+    near_off2: Vec<usize>,
+    near2: Vec<NodeId>,
 }
 
 impl Default for ListScratch {
@@ -125,6 +424,11 @@ impl ListScratch {
             cursor: Vec::new(),
             ord_of: Vec::new(),
             near_ords: Vec::new(),
+            runs: Vec::new(),
+            far_off2: Vec::new(),
+            far2: Vec::new(),
+            near_off2: Vec::new(),
+            near2: Vec::new(),
         }
     }
 
@@ -134,14 +438,19 @@ impl ListScratch {
         }
     }
 
-    /// Heap footprint in bytes (spans, per-task buffers, expansion arrays).
+    /// Heap footprint in bytes (spans, per-task buffers, expansion arrays,
+    /// repair runs and double buffers).
     pub fn memory_bytes(&self) -> usize {
         self.spans.memory_bytes()
             + self.segs.iter().map(WalkSeg::memory_bytes).sum::<usize>()
             + self.segs.capacity() * std::mem::size_of::<WalkSeg>()
             + self.diff.capacity() * std::mem::size_of::<i64>()
-            + self.cursor.capacity() * std::mem::size_of::<usize>()
-            + (self.ord_of.capacity() + self.near_ords.capacity()) * std::mem::size_of::<u32>()
+            + (self.cursor.capacity() + self.far_off2.capacity() + self.near_off2.capacity())
+                * std::mem::size_of::<usize>()
+            + (self.ord_of.capacity() + self.near_ords.capacity())
+                * std::mem::size_of::<u32>()
+            + self.runs.capacity() * std::mem::size_of::<(u32, u32)>()
+            + (self.far2.capacity() + self.near2.capacity()) * std::mem::size_of::<NodeId>()
     }
 }
 
@@ -185,6 +494,7 @@ fn append_csr(
 }
 
 /// How a popped node pair resolves in a dual-tree walk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Resolve {
     /// Every driving leaf in the span is well separated from the node.
     Far,
@@ -203,15 +513,40 @@ enum Resolve {
 /// `T_A` nodes it interacts with far (pseudo-particle term) and near
 /// (exact leaf–leaf sum), plus the per-leaf work units the equivalent
 /// traversal would report.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct BornLists {
     far_off: Vec<usize>,
     far: Vec<NodeId>,
     near_off: Vec<usize>,
     near: Vec<NodeId>,
     leaf_work: Vec<f64>,
-    /// Work spent constructing the lists (one traversal unit per walk pop).
+    /// Work spent constructing the lists: one traversal unit per walk pop
+    /// for a full build; for a repaired list, the units of the range
+    /// re-walks only (the incremental cost actually paid).
     pub build_work: f64,
+    /// Walk-decision certificates (present iff `track_certs`).
+    certs: Vec<Cert>,
+    /// Whether rebuilds record certificates (enables [`BornLists::repair`]).
+    track_certs: bool,
+    /// Fold of the CSR arrays — equal keys ⇔ identical structure; consumed
+    /// by plan caches so a no-flip frame re-validates in O(1).
+    content_key: u64,
+    /// Certificate count of the last *full* build — the overflow baseline.
+    full_build_certs: usize,
+}
+
+/// Structural equality ignores the incremental-repair bookkeeping (certs,
+/// tracking flag, content key): two lists are equal when execution cannot
+/// tell them apart.
+impl PartialEq for BornLists {
+    fn eq(&self, o: &BornLists) -> bool {
+        self.far_off == o.far_off
+            && self.far == o.far
+            && self.near_off == o.near_off
+            && self.near == o.near
+            && self.leaf_work == o.leaf_work
+            && self.build_work == o.build_work
+    }
 }
 
 /// Walks `(T_A root, T_Q root)` restricted to driving-leaf ordinals
@@ -224,6 +559,18 @@ pub struct BornLists {
 /// whole-range build byte for byte. A pop is *owned* (charged a traversal
 /// unit) by the one task whose range contains its span start, making
 /// `Σ build_work` the same multiset of exact ¼ units as the serial tally.
+///
+/// With `record` set, every *owned* geometry decision — including the
+/// ambiguous descend-driver branch, so the whole decision tree is covered —
+/// leaves behind a [`Cert`] bounding how much accumulated point drift the
+/// branch tolerates. Per-branch sensitivities, with `δ` the joint drift
+/// `ta.drift(a) + tq.drift(q)` and using `|Δcentroid| ≤ δ`,
+/// `|Δradius| ≤ 2δ`, `|Δd| ≤ δ`, `|Δ(min|max)_leaf_radius| ≤ 2δ`:
+/// the q-leaf exact test (`gap = d−s > 0 ∧ θ·gap ≥ d+s`, `s = r_a+r_q`)
+/// moves `gap` by ≤ 3δ and `W = θ·gap−(d+s)` by ≤ (3θ+3)δ; the internal
+/// margins `F`/`N` move by ≤ (3+2·coef)δ. Budgets divide the decision's
+/// standing margin by the padded sensitivity, so a valid cert *proves* the
+/// branch cannot have flipped.
 #[allow(clippy::too_many_arguments)]
 fn born_walk_range(
     ta: &Octree,
@@ -234,14 +581,19 @@ fn born_walk_range(
     lo: usize,
     hi: usize,
     seg: &mut WalkSeg,
+    record: bool,
 ) {
+    let k_leaf = (3.0 * threshold + 3.0) * CERT_PAD;
+    let k_gap = 3.0 * CERT_PAD;
+    let k_int = (3.0 + 2.0 * coef) * CERT_PAD;
     seg.reset(hi - lo);
     while let Some((a_id, q_id)) = seg.stack.pop() {
         let span = spans.span(q_id);
         if span.start >= hi || span.end <= lo {
             continue;
         }
-        if span.start >= lo {
+        let owned = span.start >= lo;
+        if owned {
             seg.build_work += TRAVERSAL_UNIT;
         }
         let a = ta.node(a_id);
@@ -251,7 +603,18 @@ fn born_walk_range(
 
         let resolve = if q.is_leaf() {
             // single driving leaf: the original test decides, bit for bit
-            if well_separated(d, a.radius, q.radius, threshold) {
+            let far = well_separated(d, a.radius, q.radius, threshold);
+            if record && owned {
+                let (branch, allowed) = born_leaf_branch(a, q, d, threshold, k_leaf, k_gap);
+                debug_assert_eq!(branch == Resolve::Far, far);
+                seg.certs.push(Cert::new(
+                    a_id,
+                    q_id,
+                    branch,
+                    allowed.max(0.0) + ta.drift(a_id) + tq.drift(q_id),
+                ));
+            }
+            if far {
                 Resolve::Far
             } else {
                 Resolve::NearOrDescend
@@ -259,17 +622,24 @@ fn born_walk_range(
         } else {
             // every leaf centroid under q lies within q.radius of
             // q.centroid, so per-leaf distances span [d−r_q, d+r_q]
-            let need_hi = coef * (a.radius + spans.max_leaf_radius[q_id as usize]);
-            if d - q.radius > need_hi + MARGIN * (need_hi + d) {
-                Resolve::Far
-            } else {
-                let need_lo = coef * (a.radius + spans.min_leaf_radius[q_id as usize]);
-                if d + q.radius < need_lo - MARGIN * (need_lo + d) {
-                    Resolve::NearOrDescend
-                } else {
-                    Resolve::DescendDriver
-                }
+            let (resolve, margin) = internal_branch(
+                a,
+                q,
+                d,
+                spans.min_leaf_radius[q_id as usize],
+                spans.max_leaf_radius[q_id as usize],
+                coef,
+            );
+            if record && owned {
+                let allowed = margin / k_int;
+                seg.certs.push(Cert::new(
+                    a_id,
+                    q_id,
+                    resolve,
+                    allowed.max(0.0) + ta.drift(a_id) + tq.drift(q_id),
+                ));
             }
+            resolve
         };
         match resolve {
             Resolve::Far => {
@@ -309,7 +679,48 @@ impl BornLists {
             near: Vec::new(),
             leaf_work: Vec::new(),
             build_work: 0.0,
+            certs: Vec::new(),
+            track_certs: false,
+            content_key: 0,
+            full_build_certs: 0,
         }
+    }
+
+    /// Enables (or disables) certificate recording on subsequent rebuilds.
+    /// Tracking costs one 16-byte cert per decided pop and changes no list
+    /// content; it is what makes [`BornLists::repair`] possible.
+    pub fn set_cert_tracking(&mut self, on: bool) {
+        self.track_certs = on;
+    }
+
+    /// Whether rebuilds record repair certificates.
+    #[inline]
+    pub fn tracks_certs(&self) -> bool {
+        self.track_certs
+    }
+
+    /// Whether the resident lists carry repair certificates — i.e. their
+    /// build actually recorded decisions. False after an untracked rebuild
+    /// even if tracking has since been re-enabled; repairing without this
+    /// evidence would silently keep stale lists.
+    #[inline]
+    pub fn has_certs(&self) -> bool {
+        !self.certs.is_empty()
+    }
+
+    /// Fold of the CSR structure (0 = never built). Equal keys across
+    /// frames ⇔ identical lists, so plan caches key on this instead of
+    /// re-hashing the arrays.
+    #[inline]
+    pub fn content_key(&self) -> u64 {
+        self.content_key
+    }
+
+    /// True when repair-appended certificates outnumber a full build's by
+    /// more than 2× — repeated incremental repairs have fragmented the
+    /// decision tree enough that a fresh build is the better deal.
+    pub fn cert_overflow(&self) -> bool {
+        self.full_build_certs > 0 && self.certs.len() > 2 * self.full_build_certs
     }
 
     /// Runs the dual-tree walk over `(T_A root, T_Q root)` serially.
@@ -383,10 +794,14 @@ impl BornLists {
         self.near.clear();
         self.leaf_work.clear();
         self.build_work = 0.0;
+        self.certs.clear();
+        self.full_build_certs = 0;
         if ta.is_empty() || tq.is_empty() {
             self.far_off.resize(nleaves + 1, 0);
             self.near_off.resize(nleaves + 1, 0);
             self.leaf_work.resize(nleaves, 0.0);
+            self.content_key =
+                fold_csr_key(&self.far_off, &self.far, &self.near_off, &self.near);
             return;
         }
         // well_separated(d, ra, rq, t)  ⇔  d ≥ (ra + rq)(t+1)/(t−1)
@@ -399,16 +814,17 @@ impl BornLists {
         scratch.ensure_segs(ntasks);
         let bounds = |i: usize| (i * nleaves / ntasks, (i + 1) * nleaves / ntasks);
 
+        let record = self.track_certs;
         let spans = &scratch.spans;
         let segs = &mut scratch.segs[..ntasks];
         if ntasks == 1 {
-            born_walk_range(ta, tq, spans, threshold, coef, 0, nleaves, &mut segs[0]);
+            born_walk_range(ta, tq, spans, threshold, coef, 0, nleaves, &mut segs[0], record);
         } else {
             rayon::scope(|sc| {
                 for (i, seg) in segs.iter_mut().enumerate() {
                     let (lo, hi) = bounds(i);
                     sc.spawn(move |_| {
-                        born_walk_range(ta, tq, spans, threshold, coef, lo, hi, seg)
+                        born_walk_range(ta, tq, spans, threshold, coef, lo, hi, seg, record)
                     });
                 }
             });
@@ -430,9 +846,12 @@ impl BornLists {
                 self.leaf_work.push(run as f64);
             }
             self.build_work += seg.build_work;
+            self.certs.extend_from_slice(&seg.certs);
         }
         self.far_off.push(self.far.len());
         self.near_off.push(self.near.len());
+        self.full_build_certs = self.certs.len();
+        self.content_key = fold_csr_key(&self.far_off, &self.far, &self.near_off, &self.near);
         // Reconstruct the traversal's per-leaf work units: ¼ per popped
         // node, 1 per far term, |A|·|Q| per exact pair. All terms are
         // multiples of ¼ well below 2^52, so the sum is exact and equals
@@ -618,6 +1037,152 @@ impl BornLists {
         (self.far_off.capacity() + self.near_off.capacity()) * std::mem::size_of::<usize>()
             + (self.far.capacity() + self.near.capacity()) * std::mem::size_of::<NodeId>()
             + self.leaf_work.capacity() * std::mem::size_of::<f64>()
+            + self.certs.capacity() * std::mem::size_of::<Cert>()
+    }
+
+    /// Incrementally repairs the lists after the trees were refitted in
+    /// place: checks every walk certificate against the accumulated drift,
+    /// re-walks only the driving-leaf runs whose decisions could have
+    /// flipped, and splices the regenerated rows into the stored CSRs.
+    /// With `drift_tol == 0` the result (CSRs + `leaf_work`) is
+    /// **byte-identical** to a from-scratch rebuild on the refitted trees;
+    /// a positive tolerance keeps decisions whose margin deficit is within
+    /// `drift_tol` Å of drift, trading bounded list staleness for fewer
+    /// re-walks. Requires cert tracking and an unchanged tree topology.
+    pub fn repair(&mut self, sys: &GbSystem, drift_tol: f64, scratch: &mut ListScratch)
+        -> RepairStats {
+        self.try_repair(sys, drift_tol, scratch, f64::INFINITY)
+            .expect("unbounded repair cannot bail")
+    }
+
+    /// [`BornLists::repair`] with a density bail-out: returns `None` —
+    /// leaving the lists untouched apart from refreshed cert budgets —
+    /// when more than `bail_tripped_fraction` of the certs trip their
+    /// drift bound. That dense a drift regime (global motion) re-walks
+    /// nearly every row anyway, so the caller is better off rebuilding
+    /// from scratch, optionally without cert recording.
+    pub fn try_repair(
+        &mut self,
+        sys: &GbSystem,
+        drift_tol: f64,
+        scratch: &mut ListScratch,
+        bail_tripped_fraction: f64,
+    ) -> Option<RepairStats> {
+        let (ta, tq) = (&sys.ta, &sys.tq);
+        let threshold = sys.params.radii_mac_threshold();
+        assert!(self.track_certs, "BornLists::repair requires cert tracking");
+        let nleaves = tq.num_leaves();
+        assert_eq!(self.leaf_work.len(), nleaves, "repair requires unchanged tree topology");
+        scratch.spans.recompute(tq);
+        let mut stats = RepairStats { rows_total: nleaves, ..RepairStats::default() };
+        let coef = (threshold + 1.0) / (threshold - 1.0);
+        let k_leaf = (3.0 * threshold + 3.0) * CERT_PAD;
+        let k_gap = 3.0 * CERT_PAD;
+        let k_int = (3.0 + 2.0 * coef) * CERT_PAD;
+        let spans = &scratch.spans;
+        let bail_after = bail_fraction_to_count(bail_tripped_fraction, self.certs.len());
+        let (checked, rechecked, flipped) = invalidate_certs(&mut self.certs, ta, tq, spans,
+            drift_tol, nleaves, &mut scratch.diff, &mut scratch.runs, bail_after,
+            |a_id, q_id, was| {
+                let a = ta.node(a_id);
+                let q = tq.node(q_id);
+                let d = a.centroid.dist(q.centroid);
+                let (now, allowed) = if q.is_leaf() {
+                    born_leaf_branch(a, q, d, threshold, k_leaf, k_gap)
+                } else {
+                    let (r, m) = internal_branch(
+                        a,
+                        q,
+                        d,
+                        spans.min_leaf_radius[q_id as usize],
+                        spans.max_leaf_radius[q_id as usize],
+                        coef,
+                    );
+                    (r, m / k_int)
+                };
+                (now == was).then_some(allowed)
+            })?;
+        stats.certs_checked = checked;
+        stats.certs_rechecked = rechecked;
+        stats.certs_violated = flipped;
+        if scratch.runs.is_empty() {
+            self.build_work = 0.0;
+            return Some(stats);
+        }
+        scratch.ensure_segs(1);
+        let ListScratch {
+            spans, segs, diff, cursor, runs, far_off2, far2, near_off2, near2, ..
+        } = scratch;
+        far_off2.clear();
+        far2.clear();
+        near_off2.clear();
+        near2.clear();
+        let mut walk_work = 0.0;
+        let mut prev = 0usize;
+        for &(rs, re) in runs.iter() {
+            let (lo, hi) = (rs as usize, re as usize);
+            // bulk-copy the untouched rows since the previous run, then
+            // re-walk this run and append its fresh rows
+            copy_csr_rows(&self.far_off, &self.far, prev, lo, far_off2, far2);
+            copy_csr_rows(&self.near_off, &self.near, prev, lo, near_off2, near2);
+            let seg = &mut segs[0];
+            born_walk_range(ta, tq, spans, threshold, coef, lo, hi, seg, true);
+            append_csr(hi - lo, &seg.far_emits, far_off2, far2, diff, cursor);
+            append_csr(hi - lo, &seg.near_emits, near_off2, near2, diff, cursor);
+            // stage the raw per-ordinal step counts; finalized below once
+            // both CSRs are spliced (the counts are range-independent, so
+            // they match what a full walk would report for these ordinals)
+            let mut run_steps = 0i64;
+            for (k, d) in seg.sdiff.iter().take(hi - lo).enumerate() {
+                run_steps += d;
+                self.leaf_work[lo + k] = run_steps as f64;
+            }
+            walk_work += seg.build_work;
+            self.certs.extend_from_slice(&seg.certs);
+            stats.rows_rewalked += hi - lo;
+            prev = hi;
+        }
+        copy_csr_rows(&self.far_off, &self.far, prev, nleaves, far_off2, far2);
+        copy_csr_rows(&self.near_off, &self.near, prev, nleaves, near_off2, near2);
+        far_off2.push(far2.len());
+        near_off2.push(near2.len());
+        // install the spliced arrays; the swapped-out old ones stay in
+        // scratch for the change detection below (and get reused next time)
+        std::mem::swap(&mut self.far_off, far_off2);
+        std::mem::swap(&mut self.far, far2);
+        std::mem::swap(&mut self.near_off, near_off2);
+        std::mem::swap(&mut self.near, near2);
+        'detect: for &(rs, re) in runs.iter() {
+            for ord in rs as usize..re as usize {
+                if self.far[self.far_off[ord]..self.far_off[ord + 1]]
+                    != far2[far_off2[ord]..far_off2[ord + 1]]
+                    || self.near[self.near_off[ord]..self.near_off[ord + 1]]
+                        != near2[near_off2[ord]..near_off2[ord + 1]]
+                {
+                    stats.changed = true;
+                    break 'detect;
+                }
+            }
+        }
+        // finalize the re-walked rows' work units exactly like a rebuild
+        for &(rs, re) in runs.iter() {
+            for ord in rs as usize..re as usize {
+                let q_count = tq.node(tq.leaves()[ord]).count() as f64;
+                let mut near_pairs = 0.0;
+                for &a_id in &self.near[self.near_off[ord]..self.near_off[ord + 1]] {
+                    near_pairs += ta.node(a_id).count() as f64 * q_count;
+                }
+                self.leaf_work[ord] = TRAVERSAL_UNIT * self.leaf_work[ord]
+                    + (self.far_off[ord + 1] - self.far_off[ord]) as f64
+                    + near_pairs;
+            }
+        }
+        if stats.changed {
+            self.content_key =
+                fold_csr_key(&self.far_off, &self.far, &self.near_off, &self.near);
+        }
+        self.build_work = walk_work;
+        Some(stats)
     }
 }
 
@@ -693,7 +1258,7 @@ fn born_span_batched<M: MathMode, K: RadiiApprox>(
 /// exact-pair work the equivalent traversal would report. Far-pair work
 /// depends on the charge histograms (known only after the Born radii), so
 /// it is computed at execution time / by [`EnergyLists::leaf_costs`].
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct EnergyLists {
     near_off: Vec<usize>,
     /// `T_A` leaf partners (Fig. 3 rule: a leaf `U` is always exact).
@@ -713,13 +1278,42 @@ pub struct EnergyLists {
     /// checkerboard rule on the ordinal pair so halving stays balanced
     /// across rank/chunk segments.
     near_w: Vec<u8>,
-    /// Work spent constructing the lists (one traversal unit per walk pop).
+    /// Work spent constructing the lists: one traversal unit per walk pop
+    /// for a full build; for a repaired list, the range re-walks' units.
     pub build_work: f64,
+    /// Walk-decision certificates (present iff `track_certs`).
+    certs: Vec<Cert>,
+    /// Whether rebuilds record certificates (enables [`EnergyLists::repair`]).
+    track_certs: bool,
+    /// Fold of the CSR arrays — equal keys ⇔ identical structure.
+    content_key: u64,
+    /// Certificate count of the last *full* build — the overflow baseline.
+    full_build_certs: usize,
+}
+
+/// Structural equality ignores the incremental-repair bookkeeping, exactly
+/// like [`BornLists`]' `PartialEq`.
+impl PartialEq for EnergyLists {
+    fn eq(&self, o: &EnergyLists) -> bool {
+        self.near_off == o.near_off
+            && self.near == o.near
+            && self.far_off == o.far_off
+            && self.far == o.far
+            && self.trav_steps == o.trav_steps
+            && self.near_work == o.near_work
+            && self.near_w == o.near_w
+            && self.build_work == o.build_work
+    }
 }
 
 /// Walks `(T_A root, T_A root)` restricted to driving-leaf ordinals
 /// `[lo, hi)` — the energy-phase counterpart of [`born_walk_range`], with
 /// the same pruning, clipping and pop-ownership rules.
+///
+/// Cert sensitivities (`δ` = joint drift of `u` and `v`): the v-leaf MAC
+/// margin `d − (r_u+r_v)·mac` moves by ≤ (1+2·mac)δ; the internal `F`/`N`
+/// margins by ≤ (3+2·mac)δ. Leaf `u` pops emit unconditionally and need no
+/// certificate.
 fn energy_walk_range(
     sys: &GbSystem,
     spans: &LeafSpans,
@@ -727,14 +1321,19 @@ fn energy_walk_range(
     lo: usize,
     hi: usize,
     seg: &mut WalkSeg,
+    record: bool,
 ) {
+    let ta = &sys.ta;
+    let k_leaf = (2.0 + 2.0 * mac) * CERT_PAD;
+    let k_int = (3.0 + 2.0 * mac) * CERT_PAD;
     seg.reset(hi - lo);
     while let Some((u_id, v_id)) = seg.stack.pop() {
         let span = spans.span(v_id);
         if span.start >= hi || span.end <= lo {
             continue;
         }
-        if span.start >= lo {
+        let owned = span.start >= lo;
+        if owned {
             seg.build_work += TRAVERSAL_UNIT;
         }
         let u = sys.ta.node(u_id);
@@ -751,23 +1350,41 @@ fn energy_walk_range(
         }
         let d = u.centroid.dist(v.centroid);
         let resolve = if v.is_leaf() {
-            if d > (u.radius + v.radius) * mac {
+            let far = d > (u.radius + v.radius) * mac;
+            if record && owned {
+                let (branch, allowed) = energy_leaf_branch(u, v, d, mac, k_leaf);
+                debug_assert_eq!(branch == Resolve::Far, far);
+                seg.certs.push(Cert::new(
+                    u_id,
+                    v_id,
+                    branch,
+                    allowed.max(0.0) + ta.drift(u_id) + ta.drift(v_id),
+                ));
+            }
+            if far {
                 Resolve::Far
             } else {
                 Resolve::NearOrDescend
             }
         } else {
-            let need_hi = mac * (u.radius + spans.max_leaf_radius[v_id as usize]);
-            if d - v.radius > need_hi + MARGIN * (need_hi + d) {
-                Resolve::Far
-            } else {
-                let need_lo = mac * (u.radius + spans.min_leaf_radius[v_id as usize]);
-                if d + v.radius < need_lo - MARGIN * (need_lo + d) {
-                    Resolve::NearOrDescend
-                } else {
-                    Resolve::DescendDriver
-                }
+            let (resolve, margin) = internal_branch(
+                u,
+                v,
+                d,
+                spans.min_leaf_radius[v_id as usize],
+                spans.max_leaf_radius[v_id as usize],
+                mac,
+            );
+            if record && owned {
+                let allowed = margin / k_int;
+                seg.certs.push(Cert::new(
+                    u_id,
+                    v_id,
+                    resolve,
+                    allowed.max(0.0) + ta.drift(u_id) + ta.drift(v_id),
+                ));
             }
+            resolve
         };
         match resolve {
             Resolve::Far => {
@@ -804,7 +1421,42 @@ impl EnergyLists {
             near_work: Vec::new(),
             near_w: Vec::new(),
             build_work: 0.0,
+            certs: Vec::new(),
+            track_certs: false,
+            content_key: 0,
+            full_build_certs: 0,
         }
+    }
+
+    /// Enables (or disables) certificate recording on subsequent rebuilds
+    /// (see [`BornLists::set_cert_tracking`]).
+    pub fn set_cert_tracking(&mut self, on: bool) {
+        self.track_certs = on;
+    }
+
+    /// Whether rebuilds record repair certificates.
+    #[inline]
+    pub fn tracks_certs(&self) -> bool {
+        self.track_certs
+    }
+
+    /// Whether the resident lists carry repair certificates (see
+    /// [`BornLists::has_certs`]).
+    #[inline]
+    pub fn has_certs(&self) -> bool {
+        !self.certs.is_empty()
+    }
+
+    /// Fold of the CSR structure (0 = never built).
+    #[inline]
+    pub fn content_key(&self) -> u64 {
+        self.content_key
+    }
+
+    /// True when repair-appended certificates outnumber a full build's by
+    /// more than 2× (see [`BornLists::cert_overflow`]).
+    pub fn cert_overflow(&self) -> bool {
+        self.full_build_certs > 0 && self.certs.len() > 2 * self.full_build_certs
     }
 
     /// Runs the dual-tree walk over `(T_A root, T_A root)` serially; the
@@ -847,11 +1499,15 @@ impl EnergyLists {
         self.near_work.clear();
         self.near_w.clear();
         self.build_work = 0.0;
+        self.certs.clear();
+        self.full_build_certs = 0;
         if sys.ta.is_empty() {
             self.near_off.resize(nleaves + 1, 0);
             self.far_off.resize(nleaves + 1, 0);
             self.trav_steps.resize(nleaves, 0.0);
             self.near_work.resize(nleaves, 0.0);
+            self.content_key =
+                fold_csr_key(&self.far_off, &self.far, &self.near_off, &self.near);
             return;
         }
         let mac = sys.params.energy_mac_factor();
@@ -862,15 +1518,16 @@ impl EnergyLists {
         scratch.ensure_segs(ntasks);
         let bounds = |i: usize| (i * nleaves / ntasks, (i + 1) * nleaves / ntasks);
 
+        let record = self.track_certs;
         let spans = &scratch.spans;
         let segs = &mut scratch.segs[..ntasks];
         if ntasks == 1 {
-            energy_walk_range(sys, spans, mac, 0, nleaves, &mut segs[0]);
+            energy_walk_range(sys, spans, mac, 0, nleaves, &mut segs[0], record);
         } else {
             rayon::scope(|sc| {
                 for (i, seg) in segs.iter_mut().enumerate() {
                     let (lo, hi) = bounds(i);
-                    sc.spawn(move |_| energy_walk_range(sys, spans, mac, lo, hi, seg));
+                    sc.spawn(move |_| energy_walk_range(sys, spans, mac, lo, hi, seg, record));
                 }
             });
         }
@@ -888,9 +1545,11 @@ impl EnergyLists {
                 self.trav_steps.push(run as f64);
             }
             self.build_work += seg.build_work;
+            self.certs.extend_from_slice(&seg.certs);
         }
         self.near_off.push(self.near.len());
         self.far_off.push(self.far.len());
+        self.full_build_certs = self.certs.len();
         // The tail passes below index by partner *ordinal* so the random
         // node-table walks happen once per leaf, not once per near entry.
         // `diff` is free after the CSR stitch and holds the per-ordinal
@@ -933,18 +1592,27 @@ impl EnergyLists {
             self.near_work.push(pairs as f64 * v_count);
         }
 
-        // Annotate symmetric-pair ownership: a leaf pair listed by both
-        // ordinals is evaluated once, doubled, by exactly one of them.
-        // Rows are ascending by partner ordinal and driving ordinals are
-        // visited in increasing order, so each row's "is `ord` one of my
-        // partners?" queries arrive with `ord` increasing and a per-row
-        // cursor into the row's upper half answers every query with a
-        // monotone advance — O(near) total, no per-entry binary search.
+        self.annotate_near_ownership(near_ords, cursor);
+        self.content_key = fold_csr_key(&self.far_off, &self.far, &self.near_off, &self.near);
+    }
+
+    /// Annotates symmetric-pair ownership: a leaf pair listed by both
+    /// ordinals is evaluated once, doubled, by exactly one of them.
+    /// Rows are ascending by partner ordinal and driving ordinals are
+    /// visited in increasing order, so each row's "is `ord` one of my
+    /// partners?" queries arrive with `ord` increasing and a per-row
+    /// cursor into the row's upper half answers every query with a
+    /// monotone advance — O(near) total, no per-entry binary search.
+    /// A pure function of `(near_off, near_ords)`, so re-running it after
+    /// a repair splice reproduces a rebuild's weights byte for byte.
+    fn annotate_near_ownership(&mut self, near_ords: &[u32], cursor: &mut Vec<usize>) {
+        let nleaves = self.near_off.len() - 1;
         cursor.clear();
         cursor.extend((0..nleaves).map(|ord| {
             let (lo, hi) = (self.near_off[ord], self.near_off[ord + 1]);
             lo + near_ords[lo..hi].partition_point(|&uo| (uo as usize) <= ord)
         }));
+        self.near_w.clear();
         self.near_w.resize(self.near.len(), 1);
         for ord in 0..nleaves {
             for k in self.near_off[ord]..self.near_off[ord + 1] {
@@ -976,6 +1644,163 @@ impl EnergyLists {
                 // both sides keep weight 1
             }
         }
+    }
+
+    /// Incrementally repairs the lists after an in-place tree refit — the
+    /// energy-phase mirror of [`BornLists::repair`]: certificate check,
+    /// range re-walks of invalidated driving runs, CSR splice, then the
+    /// rebuild tail (row sort, near work, ownership annotation) restricted
+    /// to — or, for the global ownership pass, re-run over — the affected
+    /// rows. Byte-identical to a rebuild at `drift_tol == 0`.
+    pub fn repair(&mut self, sys: &GbSystem, drift_tol: f64, scratch: &mut ListScratch)
+        -> RepairStats {
+        self.try_repair(sys, drift_tol, scratch, f64::INFINITY)
+            .expect("unbounded repair cannot bail")
+    }
+
+    /// [`EnergyLists::repair`] with the same density bail-out contract as
+    /// [`BornLists::try_repair`]: `None` means more than
+    /// `bail_tripped_fraction` of the certs tripped their drift bound and
+    /// the caller should rebuild instead.
+    pub fn try_repair(
+        &mut self,
+        sys: &GbSystem,
+        drift_tol: f64,
+        scratch: &mut ListScratch,
+        bail_tripped_fraction: f64,
+    ) -> Option<RepairStats> {
+        let ta = &sys.ta;
+        assert!(self.track_certs, "EnergyLists::repair requires cert tracking");
+        let nleaves = ta.num_leaves();
+        assert_eq!(self.trav_steps.len(), nleaves, "repair requires unchanged tree topology");
+        scratch.spans.recompute(ta);
+        let mut stats = RepairStats { rows_total: nleaves, ..RepairStats::default() };
+        let mac = sys.params.energy_mac_factor();
+        let k_leaf = (2.0 + 2.0 * mac) * CERT_PAD;
+        let k_int = (3.0 + 2.0 * mac) * CERT_PAD;
+        let spans = &scratch.spans;
+        let bail_after = bail_fraction_to_count(bail_tripped_fraction, self.certs.len());
+        let (checked, rechecked, flipped) = invalidate_certs(&mut self.certs, ta, ta, spans,
+            drift_tol, nleaves, &mut scratch.diff, &mut scratch.runs, bail_after,
+            |u_id, v_id, was| {
+                let u = ta.node(u_id);
+                let v = ta.node(v_id);
+                let d = u.centroid.dist(v.centroid);
+                let (now, allowed) = if v.is_leaf() {
+                    energy_leaf_branch(u, v, d, mac, k_leaf)
+                } else {
+                    let (r, m) = internal_branch(
+                        u,
+                        v,
+                        d,
+                        spans.min_leaf_radius[v_id as usize],
+                        spans.max_leaf_radius[v_id as usize],
+                        mac,
+                    );
+                    (r, m / k_int)
+                };
+                (now == was).then_some(allowed)
+            })?;
+        stats.certs_checked = checked;
+        stats.certs_rechecked = rechecked;
+        stats.certs_violated = flipped;
+        if scratch.runs.is_empty() {
+            self.build_work = 0.0;
+            return Some(stats);
+        }
+        scratch.ensure_segs(1);
+        let ListScratch {
+            spans, segs, diff, cursor, ord_of, near_ords, runs,
+            far_off2, far2, near_off2, near2,
+        } = scratch;
+        near_off2.clear();
+        near2.clear();
+        far_off2.clear();
+        far2.clear();
+        let mut walk_work = 0.0;
+        let mut prev = 0usize;
+        for &(rs, re) in runs.iter() {
+            let (lo, hi) = (rs as usize, re as usize);
+            copy_csr_rows(&self.near_off, &self.near, prev, lo, near_off2, near2);
+            copy_csr_rows(&self.far_off, &self.far, prev, lo, far_off2, far2);
+            let seg = &mut segs[0];
+            energy_walk_range(sys, spans, mac, lo, hi, seg, true);
+            append_csr(hi - lo, &seg.near_emits, near_off2, near2, diff, cursor);
+            append_csr(hi - lo, &seg.far_emits, far_off2, far2, diff, cursor);
+            // stage raw step counts (range-independent, final as-is: the
+            // rebuild stores them unscaled)
+            let mut run_steps = 0i64;
+            for (k, d) in seg.sdiff.iter().take(hi - lo).enumerate() {
+                run_steps += d;
+                self.trav_steps[lo + k] = run_steps as f64;
+            }
+            walk_work += seg.build_work;
+            self.certs.extend_from_slice(&seg.certs);
+            stats.rows_rewalked += hi - lo;
+            prev = hi;
+        }
+        copy_csr_rows(&self.near_off, &self.near, prev, nleaves, near_off2, near2);
+        copy_csr_rows(&self.far_off, &self.far, prev, nleaves, far_off2, far2);
+        near_off2.push(near2.len());
+        far_off2.push(far2.len());
+        std::mem::swap(&mut self.near_off, near_off2);
+        std::mem::swap(&mut self.near, near2);
+        std::mem::swap(&mut self.far_off, far_off2);
+        std::mem::swap(&mut self.far, far2);
+
+        // rebuild tail: regenerate the ordinal mirror over the new `near`,
+        // sort only the re-walked rows (copied rows are already sorted) and
+        // rewrite their id column from the sorted ordinals
+        ord_of.clear();
+        ord_of.resize(ta.num_nodes(), u32::MAX);
+        for (i, &l) in ta.leaves().iter().enumerate() {
+            ord_of[l as usize] = i as u32;
+        }
+        near_ords.clear();
+        near_ords.extend(self.near.iter().map(|&id| ord_of[id as usize]));
+        let leaves = ta.leaves();
+        for &(rs, re) in runs.iter() {
+            for ord in rs as usize..re as usize {
+                let (lo, hi) = (self.near_off[ord], self.near_off[ord + 1]);
+                near_ords[lo..hi].sort_unstable();
+                for k in lo..hi {
+                    self.near[k] = leaves[near_ords[k] as usize];
+                }
+            }
+        }
+        'detect: for &(rs, re) in runs.iter() {
+            for ord in rs as usize..re as usize {
+                if self.near[self.near_off[ord]..self.near_off[ord + 1]]
+                    != near2[near_off2[ord]..near_off2[ord + 1]]
+                    || self.far[self.far_off[ord]..self.far_off[ord + 1]]
+                        != far2[far_off2[ord]..far_off2[ord + 1]]
+                {
+                    stats.changed = true;
+                    break 'detect;
+                }
+            }
+        }
+        // per-ordinal near work of the re-walked rows (same count-table
+        // arithmetic as the rebuild, so values match bit for bit)
+        diff.clear();
+        diff.extend(ta.leaves().iter().map(|&l| ta.node(l).count() as i64));
+        for &(rs, re) in runs.iter() {
+            for ord in rs as usize..re as usize {
+                let v_count = diff[ord] as f64;
+                let row = &near_ords[self.near_off[ord]..self.near_off[ord + 1]];
+                let pairs: i64 = row.iter().map(|&uo| diff[uo as usize]).sum();
+                self.near_work[ord] = pairs as f64 * v_count;
+            }
+        }
+        // ownership is a global property — one changed row can flip mirror
+        // rows' weights, so the annotation pass re-runs in full (O(near))
+        self.annotate_near_ownership(near_ords, cursor);
+        if stats.changed {
+            self.content_key =
+                fold_csr_key(&self.far_off, &self.far, &self.near_off, &self.near);
+        }
+        self.build_work = walk_work;
+        Some(stats)
     }
 
     /// The near CSR: `(offsets, leaf ids)` grouped by driving-leaf ordinal.
@@ -1347,6 +2172,7 @@ impl EnergyLists {
             + (self.trav_steps.capacity() + self.near_work.capacity())
                 * std::mem::size_of::<f64>()
             + self.near_w.capacity() * std::mem::size_of::<u8>()
+            + self.certs.capacity() * std::mem::size_of::<Cert>()
     }
 }
 
@@ -1827,7 +2653,8 @@ mod tests {
         let expect = (b.far_off.capacity() + b.near_off.capacity())
             * std::mem::size_of::<usize>()
             + (b.far.capacity() + b.near.capacity()) * std::mem::size_of::<NodeId>()
-            + b.leaf_work.capacity() * std::mem::size_of::<f64>();
+            + b.leaf_work.capacity() * std::mem::size_of::<f64>()
+            + b.certs.capacity() * std::mem::size_of::<Cert>();
         assert_eq!(b.memory_bytes(), expect);
         assert!(b.memory_bytes() > 0);
         let e = EnergyLists::build(&sys);
@@ -1835,9 +2662,11 @@ mod tests {
             * std::mem::size_of::<usize>()
             + (e.far.capacity() + e.near.capacity()) * std::mem::size_of::<NodeId>()
             + (e.trav_steps.capacity() + e.near_work.capacity()) * std::mem::size_of::<f64>()
-            + e.near_w.capacity() * std::mem::size_of::<u8>();
+            + e.near_w.capacity() * std::mem::size_of::<u8>()
+            + e.certs.capacity() * std::mem::size_of::<Cert>();
         assert_eq!(e.memory_bytes(), expect);
-        // scratch reports spans + per-task buffers + expansion arrays
+        // scratch reports spans + per-task buffers + expansion arrays +
+        // repair runs and double buffers
         let mut scratch = ListScratch::new();
         let mut lists = BornLists::empty();
         lists.rebuild_with_task_floor(&sys, 3, &mut scratch, 1);
@@ -1845,9 +2674,15 @@ mod tests {
             + scratch.segs.iter().map(WalkSeg::memory_bytes).sum::<usize>()
             + scratch.segs.capacity() * std::mem::size_of::<WalkSeg>()
             + scratch.diff.capacity() * std::mem::size_of::<i64>()
-            + scratch.cursor.capacity() * std::mem::size_of::<usize>()
+            + (scratch.cursor.capacity()
+                + scratch.far_off2.capacity()
+                + scratch.near_off2.capacity())
+                * std::mem::size_of::<usize>()
             + (scratch.ord_of.capacity() + scratch.near_ords.capacity())
-                * std::mem::size_of::<u32>();
+                * std::mem::size_of::<u32>()
+            + scratch.runs.capacity() * std::mem::size_of::<(u32, u32)>()
+            + (scratch.far2.capacity() + scratch.near2.capacity())
+                * std::mem::size_of::<NodeId>();
         assert_eq!(scratch.memory_bytes(), expect);
         // exec scratch likewise sums every buffer
         let (radii_tree, bins) = radii_and_bins(&sys);
@@ -2009,6 +2844,218 @@ mod tests {
         }
         for (x, y) in whole.atom_s.iter().zip(&parts.atom_s) {
             assert!(close(*x, *y), "{x} vs {y}");
+        }
+    }
+
+    // -- incremental repair ------------------------------------------------
+
+    /// The tree's points in builder-input (original-index) order, the
+    /// convention [`Octree::refit`] expects.
+    fn original_positions(tree: &Octree) -> Vec<Vec3> {
+        let mut out = vec![Vec3::ZERO; tree.num_points()];
+        for i in 0..tree.num_points() {
+            out[tree.point_index(i)] = tree.points()[i];
+        }
+        out
+    }
+
+    /// Gaussian-jitters every `stride`-th point of a tree by `amp` Å RMS
+    /// per axis and refits in place (`stride == 1` moves everything).
+    fn jitter_tree(tree: &mut Octree, amp: f64, seed: u64, stride: usize) {
+        let mut rng = gb_geom::DetRng::new(seed);
+        let mut pts = original_positions(tree);
+        for (k, p) in pts.iter_mut().enumerate() {
+            let dv = Vec3::new(rng.normal(), rng.normal(), rng.normal()) * amp;
+            if k % stride == 0 {
+                *p += dv;
+            }
+        }
+        tree.refit(&pts);
+    }
+
+    fn assert_born_identical(repaired: &BornLists, rebuilt: &BornLists, tag: &str) {
+        assert_eq!(repaired.far_csr(), rebuilt.far_csr(), "{tag}: far CSR");
+        assert_eq!(repaired.near_csr(), rebuilt.near_csr(), "{tag}: near CSR");
+        assert_eq!(repaired.leaf_work(), rebuilt.leaf_work(), "{tag}: leaf_work");
+        assert_eq!(repaired.content_key(), rebuilt.content_key(), "{tag}: content key");
+    }
+
+    fn assert_energy_identical(repaired: &EnergyLists, rebuilt: &EnergyLists, tag: &str) {
+        assert_eq!(repaired.near_csr(), rebuilt.near_csr(), "{tag}: near CSR");
+        assert_eq!(repaired.far_csr(), rebuilt.far_csr(), "{tag}: far CSR");
+        assert_eq!(
+            repaired.step_and_near_work(),
+            rebuilt.step_and_near_work(),
+            "{tag}: work arrays"
+        );
+        assert_eq!(repaired.near_w, rebuilt.near_w, "{tag}: ownership weights");
+        assert_eq!(repaired.content_key(), rebuilt.content_key(), "{tag}: content key");
+    }
+
+    #[test]
+    fn exact_repair_is_byte_identical_to_rebuild() {
+        // amplitudes spanning "almost nothing flips" to "lots flips",
+        // across task counts, chained over consecutive frames, plus a
+        // partial-motion frame (only every 7th point moves)
+        for &(amp, tasks) in
+            &[(0.005f64, 1usize), (0.005, 3), (0.05, 1), (0.05, 3), (0.3, 1), (0.3, 3)]
+        {
+            let mut sys = system(260);
+            let mut scratch = ListScratch::new();
+            let mut born = BornLists::empty();
+            born.set_cert_tracking(true);
+            born.rebuild_with_task_floor(&sys, tasks, &mut scratch, 1);
+            let mut energy = EnergyLists::empty();
+            energy.set_cert_tracking(true);
+            energy.rebuild_with_task_floor(&sys, tasks, &mut scratch, 1);
+
+            for (frame, stride) in [(0u64, 1usize), (1, 1), (2, 7)] {
+                jitter_tree(&mut sys.ta, amp, 100 + frame, stride);
+                jitter_tree(&mut sys.tq, amp, 200 + frame, stride);
+                let bs = born.repair(&sys, 0.0, &mut scratch);
+                let es = energy.repair(&sys, 0.0, &mut scratch);
+                let tag = format!("amp={amp} tasks={tasks} frame={frame}");
+                let mut scratch2 = ListScratch::new();
+                let mut born2 = BornLists::empty();
+                born2.set_cert_tracking(true);
+                born2.rebuild_with_task_floor(&sys, tasks, &mut scratch2, 1);
+                let mut energy2 = EnergyLists::empty();
+                energy2.set_cert_tracking(true);
+                energy2.rebuild_with_task_floor(&sys, tasks, &mut scratch2, 1);
+                assert_born_identical(&born, &born2, &tag);
+                assert_energy_identical(&energy, &energy2, &tag);
+                assert!(bs.rows_rewalked <= bs.rows_total, "{tag}");
+                assert!(es.rows_rewalked <= es.rows_total, "{tag}");
+                // the incremental walk must undercut the full rebuild
+                if bs.rows_rewalked < bs.rows_total {
+                    assert!(born.build_work < born2.build_work, "{tag}: born walk savings");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_refit_repairs_for_free() {
+        let mut sys = system(260);
+        let mut scratch = ListScratch::new();
+        let mut born = BornLists::empty();
+        born.set_cert_tracking(true);
+        born.rebuild(&sys, 1, &mut scratch);
+        let mut energy = EnergyLists::empty();
+        energy.set_cert_tracking(true);
+        energy.rebuild(&sys, 1, &mut scratch);
+        let (bk, ek) = (born.content_key(), energy.content_key());
+        let before_b = born.clone();
+        let before_e = energy.clone();
+
+        // refit with unchanged positions: no drift, no violated certs
+        let pa = original_positions(&sys.ta);
+        let pq = original_positions(&sys.tq);
+        sys.ta.refit(&pa);
+        sys.tq.refit(&pq);
+        let bs = born.repair(&sys, 0.0, &mut scratch);
+        let es = energy.repair(&sys, 0.0, &mut scratch);
+        for s in [bs, es] {
+            assert!(s.certs_checked > 0);
+            assert_eq!(s.certs_violated, 0);
+            assert_eq!(s.rows_rewalked, 0);
+            assert!(!s.changed);
+            assert_eq!(s.rewalk_fraction(), 0.0);
+        }
+        assert_eq!(born.build_work, 0.0);
+        assert_eq!(energy.build_work, 0.0);
+        assert_eq!(born.content_key(), bk);
+        assert_eq!(energy.content_key(), ek);
+        // lists untouched except build_work (compare structure directly)
+        assert_eq!(born.far_csr(), before_b.far_csr());
+        assert_eq!(born.near_csr(), before_b.near_csr());
+        assert_eq!(energy.near_csr(), before_e.near_csr());
+        assert_eq!(energy.near_w, before_e.near_w);
+    }
+
+    #[test]
+    fn slack_tolerance_trades_rewalks_monotonically() {
+        // larger drift_tol must never re-walk more rows (deterministic
+        // certificate arithmetic ⇒ the violated set shrinks monotonically)
+        let mut sys = system(300);
+        let mut scratch = ListScratch::new();
+        let mut born = BornLists::empty();
+        born.set_cert_tracking(true);
+        born.rebuild(&sys, 1, &mut scratch);
+        let mut energy = EnergyLists::empty();
+        energy.set_cert_tracking(true);
+        energy.rebuild(&sys, 1, &mut scratch);
+        jitter_tree(&mut sys.ta, 0.05, 9, 1);
+        jitter_tree(&mut sys.tq, 0.05, 10, 1);
+
+        let mut last_b = usize::MAX;
+        let mut last_e = usize::MAX;
+        for tol in [0.0, 0.1, 0.5, 2.0] {
+            let mut b = born.clone();
+            let mut e = energy.clone();
+            let bs = b.repair(&sys, tol, &mut scratch);
+            let es = e.repair(&sys, tol, &mut scratch);
+            assert!(bs.rows_rewalked <= last_b, "tol={tol}: born rewalks grew");
+            assert!(es.rows_rewalked <= last_e, "tol={tol}: energy rewalks grew");
+            last_b = bs.rows_rewalked;
+            last_e = es.rows_rewalked;
+        }
+        // a generous tolerance on a small jitter must accept nearly all
+        assert!(last_b == 0 && last_e == 0, "tol=2.0 still re-walked rows");
+    }
+
+    #[test]
+    fn cert_tracking_does_not_change_lists() {
+        // recording certificates must leave every list byte untouched —
+        // the margins are computed beside the original comparisons, never
+        // instead of them
+        let sys = system(300);
+        let mut scratch = ListScratch::new();
+        for tasks in [1usize, 4] {
+            let mut plain_b = BornLists::empty();
+            plain_b.rebuild_with_task_floor(&sys, tasks, &mut scratch, 1);
+            let mut tracked_b = BornLists::empty();
+            tracked_b.set_cert_tracking(true);
+            tracked_b.rebuild_with_task_floor(&sys, tasks, &mut scratch, 1);
+            assert_eq!(plain_b, tracked_b, "tasks={tasks}");
+            assert_eq!(plain_b.content_key(), tracked_b.content_key());
+            assert!(plain_b.certs.is_empty());
+            assert!(!tracked_b.certs.is_empty());
+            assert!(!tracked_b.cert_overflow());
+
+            let mut plain_e = EnergyLists::empty();
+            plain_e.rebuild_with_task_floor(&sys, tasks, &mut scratch, 1);
+            let mut tracked_e = EnergyLists::empty();
+            tracked_e.set_cert_tracking(true);
+            tracked_e.rebuild_with_task_floor(&sys, tasks, &mut scratch, 1);
+            assert_eq!(plain_e, tracked_e, "tasks={tasks}");
+            assert_eq!(plain_e.content_key(), tracked_e.content_key());
+            assert!(plain_e.certs.is_empty() && !tracked_e.certs.is_empty());
+        }
+    }
+
+    #[test]
+    fn repaired_lists_execute_to_identical_integrals() {
+        // end-to-end: integrals off a repaired list are bit-identical to
+        // integrals off freshly rebuilt lists (same refitted system)
+        let mut sys = system(300);
+        let mut scratch = ListScratch::new();
+        let mut born = BornLists::empty();
+        born.set_cert_tracking(true);
+        born.rebuild(&sys, 1, &mut scratch);
+        jitter_tree(&mut sys.ta, 0.05, 33, 1);
+        jitter_tree(&mut sys.tq, 0.05, 34, 1);
+        born.repair(&sys, 0.0, &mut scratch);
+        let fresh = BornLists::build(&sys);
+        let mut acc_r = IntegralAcc::zeros(&sys);
+        let mut acc_f = IntegralAcc::zeros(&sys);
+        born.execute_range::<ExactMath, R6>(&sys, 0..born.num_qleaves(), &mut acc_r);
+        fresh.execute_range::<ExactMath, R6>(&sys, 0..fresh.num_qleaves(), &mut acc_f);
+        for (x, y) in acc_r.node_s.iter().zip(&acc_f.node_s) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in acc_r.atom_s.iter().zip(&acc_f.atom_s) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 }

@@ -63,14 +63,14 @@ pub mod simd;
 pub mod system;
 pub mod workdiv;
 
-pub use arena::{CachedLists, Workspace};
+pub use arena::{CachedLists, ListPath, Workspace};
 pub use commplan::{CommMode, CommPlan};
 pub use contenthash::{molecule_key, params_key, system_key};
 pub use error::{percent_error, ErrorStats, GbError};
-pub use interaction::{BornLists, EnergyExecScratch, EnergyLists, FarStats};
+pub use interaction::{BornLists, EnergyExecScratch, EnergyLists, FarStats, RepairStats};
 pub use gbmath::COULOMB_KCAL;
 pub use pair::{evaluate_pair, evaluate_pair_ws, Monomer, PairOutcome, PairScratch};
 pub use params::{GbParams, MathKind, RadiiKind};
-pub use system::{GbResult, GbSystem};
+pub use system::{FrameUpdate, GbResult, GbSystem, RefitSummary};
 pub use balance::LoadBalance;
 pub use workdiv::WorkDivision;

@@ -2,6 +2,7 @@
 
 pub mod data_distributed;
 pub mod distributed;
+pub mod frame;
 pub mod hybrid;
 pub mod serial;
 pub mod shared;
@@ -12,6 +13,10 @@ pub use data_distributed::{
 };
 pub use distributed::{
     run_distributed, try_run_distributed, try_run_distributed_mode, try_run_distributed_ws_mode,
+};
+pub use frame::{
+    run_frame_serial, run_frame_shared, try_run_frame_distributed, try_run_frame_hybrid,
+    ClusterFrameOutcome, FrameOutcome,
 };
 pub use hybrid::{run_hybrid, try_run_hybrid, try_run_hybrid_mode, try_run_hybrid_ws_mode};
 pub use serial::run_serial;

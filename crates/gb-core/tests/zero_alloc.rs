@@ -6,10 +6,12 @@
 //! `#[global_allocator]`, and because the count is only meaningful when no
 //! other test threads allocate concurrently — hence the single `#[test]`.
 
-use gb_core::arena::Workspace;
+use gb_core::arena::{ListPath, Workspace};
 use gb_core::params::{GbParams, MathKind};
+use gb_core::runners::frame::run_frame_serial;
 use gb_core::runners::serial::run_serial_ws;
 use gb_core::system::GbSystem;
+use gb_geom::Vec3;
 use gb_molecule::{synthesize_protein, SyntheticParams};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -77,4 +79,45 @@ fn steady_state_superstep_allocates_nothing() {
             f1 - f0,
         );
     }
+
+    // Warm *frame* steps: refit + cert-driven list repair + execution over
+    // the same workspace. Two fixed position sets alternate (A ↔ B) so
+    // every splice/scratch buffer sees both transitions during warm-up;
+    // the measured steady-state frame step must not touch the heap either.
+    let mol = synthesize_protein(&SyntheticParams::with_atoms(700, 22));
+    let mut sys = GbSystem::prepare(mol, GbParams::default());
+    let pos_a: Vec<Vec3> = sys.molecule.positions().to_vec();
+    let pos_b: Vec<Vec3> = pos_a
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            // deterministic sub-0.01 Å displacement field, no RNG state
+            let t = i as f64 * 0.37;
+            p + Vec3::new(t.sin(), (1.7 * t).cos(), (0.9 * t).sin()) * 0.008
+        })
+        .collect();
+    let mut ws = Workspace::new();
+    ws.enable_frame_tracking(0.0);
+    run_serial_ws(&sys, &mut ws); // frame 0: tracked cold build
+    for cycle in 0..2 {
+        let o1 = run_frame_serial(&mut sys, &pos_b, 0.0, &mut ws);
+        let o2 = run_frame_serial(&mut sys, &pos_a, 0.0, &mut ws);
+        assert_eq!(ws.last_born_path, ListPath::Repaired, "cycle {cycle}");
+        assert!(o1.output.energy_kcal.is_finite() && o2.output.energy_kcal.is_finite());
+    }
+
+    let (a0, f0) = counts();
+    let out = run_frame_serial(&mut sys, &pos_b, 0.0, &mut ws);
+    let (a1, f1) = counts();
+
+    assert!(matches!(out.update, gb_core::system::FrameUpdate::Refit(_)));
+    assert_eq!(ws.last_born_path, ListPath::Repaired);
+    assert_eq!(ws.last_energy_path, ListPath::Repaired);
+    assert_eq!(
+        (a1 - a0, f1 - f0),
+        (0, 0),
+        "warm frame step touched the heap ({} allocations, {} frees)",
+        a1 - a0,
+        f1 - f0,
+    );
 }

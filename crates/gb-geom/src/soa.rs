@@ -49,6 +49,20 @@ impl Soa3 {
         Vec3::new(self.x[i], self.y[i], self.z[i])
     }
 
+    /// Overwrites the streams with a fresh `Vec3` slice in place, keeping
+    /// the existing capacities — the allocation-free mirror update a
+    /// frame-over-frame refit needs.
+    pub fn refill(&mut self, points: &[Vec3]) {
+        self.x.clear();
+        self.y.clear();
+        self.z.clear();
+        for p in points {
+            self.x.push(p.x);
+            self.y.push(p.y);
+            self.z.push(p.z);
+        }
+    }
+
     /// Heap footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
         (self.x.capacity() + self.y.capacity() + self.z.capacity()) * std::mem::size_of::<f64>()

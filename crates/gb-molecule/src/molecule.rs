@@ -115,6 +115,13 @@ impl Molecule {
         }
     }
 
+    /// Overwrites all atom positions in place (radii, charges and elements
+    /// are untouched) — the per-frame update of an MD trajectory.
+    pub fn set_positions(&mut self, positions: &[Vec3]) {
+        assert_eq!(positions.len(), self.len(), "one position per atom");
+        self.positions.copy_from_slice(positions);
+    }
+
     /// Returns a transformed copy (used for docking poses).
     pub fn transformed(&self, t: &RigidTransform) -> Molecule {
         let mut m = self.clone();

@@ -42,6 +42,7 @@ fn build_impl(input: &[Vec3], leaf_cap: usize, parallel: bool) -> Octree {
             leaves: Vec::new(),
             bbox: Aabb::EMPTY,
             leaf_cap,
+            cum_disp: Vec::new(),
         };
     }
 
@@ -60,6 +61,7 @@ fn build_impl(input: &[Vec3], leaf_cap: usize, parallel: bool) -> Octree {
         leaves: Vec::new(),
         bbox,
         leaf_cap,
+        cum_disp: Vec::new(),
     };
 
     tree.nodes.push(Node {

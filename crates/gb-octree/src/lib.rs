@@ -39,6 +39,7 @@ mod query;
 mod tree;
 
 pub use dualtree::LeafSpans;
+pub use dynamic::{RefitReport, RefitScratch};
 pub use node::{Node, NodeId, NULL_NODE};
 pub use tree::Octree;
 

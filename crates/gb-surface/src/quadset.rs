@@ -12,6 +12,11 @@ pub struct QuadraturePoints {
     positions: Vec<Vec3>,
     normals: Vec<Vec3>,
     weights: Vec<f64>,
+    /// Owning-atom index per point, or empty when unknown (e.g. a set
+    /// loaded from a file). Valid iff `owners.len() == len()`. A point
+    /// translates rigidly with its owning atom, so owners are what lets a
+    /// trajectory frame move the surface without resampling it.
+    owners: Vec<u32>,
 }
 
 impl QuadraturePoints {
@@ -21,6 +26,7 @@ impl QuadraturePoints {
             positions: Vec::with_capacity(cap),
             normals: Vec::with_capacity(cap),
             weights: Vec::with_capacity(cap),
+            owners: Vec::with_capacity(cap),
         }
     }
 
@@ -68,11 +74,55 @@ impl QuadraturePoints {
         self.weights.iter().sum()
     }
 
-    /// Appends all points of `other`.
+    /// True when every point carries an owning-atom index.
+    #[inline]
+    pub fn has_owners(&self) -> bool {
+        self.owners.len() == self.positions.len() && !self.positions.is_empty()
+    }
+
+    /// Owning-atom index per point (empty when unknown).
+    #[inline]
+    pub fn owners(&self) -> &[u32] {
+        &self.owners
+    }
+
+    /// Appends all points of `other`. Ownership survives only when both
+    /// sides carry it (a merge with an owner-less set loses the channel).
     pub fn merge(&mut self, other: &QuadraturePoints) {
+        let keep = (self.positions.is_empty() || self.has_owners())
+            && (other.positions.is_empty() || other.has_owners());
         self.positions.extend_from_slice(&other.positions);
         self.normals.extend_from_slice(&other.normals);
         self.weights.extend_from_slice(&other.weights);
+        if keep {
+            self.owners.extend_from_slice(&other.owners);
+        } else {
+            self.owners.clear();
+        }
+    }
+
+    /// Appends all points of `other`, attributing every one of them to the
+    /// atom `owner` (the sampler's per-atom merge).
+    pub fn merge_owned(&mut self, other: &QuadraturePoints, owner: u32) {
+        debug_assert!(self.positions.is_empty() || self.has_owners());
+        self.positions.extend_from_slice(&other.positions);
+        self.normals.extend_from_slice(&other.normals);
+        self.weights.extend_from_slice(&other.weights);
+        self.owners.resize(self.positions.len(), owner);
+    }
+
+    /// Translates every point by its owning atom's displacement
+    /// (`disp[owners[k]]`). Normals and weights are translation-invariant.
+    /// Panics when the set has no owner channel.
+    pub fn displace_by_owners(&mut self, disp: &[Vec3]) {
+        assert!(
+            self.has_owners() || self.positions.is_empty(),
+            "displace_by_owners requires per-point atom ownership \
+             (surfaces from sample_surface carry it; merged/loaded sets may not)"
+        );
+        for (p, &o) in self.positions.iter_mut().zip(&self.owners) {
+            *p += disp[o as usize];
+        }
     }
 
     /// Applies a rigid motion to positions and normals (weights invariant).
@@ -95,6 +145,7 @@ impl QuadraturePoints {
         self.positions.capacity() * std::mem::size_of::<Vec3>()
             + self.normals.capacity() * std::mem::size_of::<Vec3>()
             + self.weights.capacity() * std::mem::size_of::<f64>()
+            + self.owners.capacity() * std::mem::size_of::<u32>()
     }
 }
 

@@ -138,8 +138,11 @@ pub fn sample_surface(mol: &Molecule, params: &SurfaceParams) -> QuadraturePoint
 
     let total: usize = per_atom.iter().map(|q| q.len()).sum();
     let mut merged = QuadraturePoints::with_capacity(total);
-    for q in &per_atom {
-        merged.merge(q);
+    for (i, q) in per_atom.iter().enumerate() {
+        // record which atom each point sits on: a surface point translates
+        // rigidly with its atom, which is what lets trajectory frames move
+        // the quadrature set without resampling it
+        merged.merge_owned(q, i as u32);
     }
     merged
 }

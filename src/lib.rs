@@ -55,10 +55,13 @@ pub use gb_cluster::{ClusterTopology, CostModel, SimCluster};
 pub use gb_core::modeled::{modeled_run, ModeledOutcome};
 pub use gb_core::naive::{naive_full, par_naive_full};
 pub use gb_core::runners::{
-    run_data_distributed, run_distributed, run_hybrid, run_serial, run_shared,
-    try_run_data_distributed_mode, try_run_distributed_mode, try_run_hybrid_mode,
+    run_data_distributed, run_distributed, run_frame_serial, run_frame_shared, run_hybrid,
+    run_serial, run_shared, try_run_data_distributed_mode, try_run_distributed_mode,
+    try_run_frame_distributed, try_run_frame_hybrid, try_run_hybrid_mode, FrameOutcome,
 };
-pub use gb_core::{CommMode, GbParams, GbResult, GbSystem, MathKind, RadiiKind, WorkDivision};
+pub use gb_core::{
+    CommMode, FrameUpdate, GbParams, GbResult, GbSystem, MathKind, RadiiKind, WorkDivision,
+};
 pub use gb_molecule::{synthesize_protein, virus_shell, Molecule, SyntheticParams};
 pub use gb_serve::{EvalOutcome, EvalRequest, GbService, ServeConfig, ServeStats};
 pub use gb_surface::SurfaceParams;
@@ -69,10 +72,13 @@ pub mod prelude {
     pub use gb_core::modeled::modeled_run;
     pub use gb_core::naive::{naive_full, par_naive_full};
     pub use gb_core::runners::{
-        run_data_distributed, run_distributed, run_hybrid, run_serial, run_shared,
-        try_run_data_distributed_mode, try_run_distributed_mode, try_run_hybrid_mode,
+        run_data_distributed, run_distributed, run_frame_serial, run_frame_shared, run_hybrid,
+        run_serial, run_shared, try_run_data_distributed_mode, try_run_distributed_mode,
+        try_run_frame_distributed, try_run_frame_hybrid, try_run_hybrid_mode, FrameOutcome,
     };
-    pub use gb_core::{CommMode, GbParams, GbResult, GbSystem, MathKind, RadiiKind, WorkDivision};
+    pub use gb_core::{
+        CommMode, FrameUpdate, GbParams, GbResult, GbSystem, MathKind, RadiiKind, WorkDivision,
+    };
     pub use gb_molecule::{
         synthesize_protein, virus_shell, zdock_suite, Atom, Element, Molecule, SyntheticParams,
     };
